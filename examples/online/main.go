@@ -1,0 +1,74 @@
+// Online results (§6.1): watch an estimate and its confidence interval
+// converge while the simulation is still running.
+//
+// Because the library is shuffled, the points processed so far always form
+// an unbiased random sub-sample, so the running estimate is statistically
+// valid at every step — the property that lets live-point simulations
+// report results at any time and stop as soon as confidence suffices.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"livepoints"
+)
+
+func main() {
+	cfg := livepoints.Config8Way()
+	p := livepoints.GenerateBenchmark("syn.gcc", 0.1)
+
+	dir, err := os.MkdirTemp("", "livepoints-online")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	lib := filepath.Join(dir, "gcc.lplib")
+
+	design, err := livepoints.NewDesignFor(p, cfg, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := livepoints.CreateLibrary(p, design, cfg, lib); err != nil {
+		log.Fatal(err)
+	}
+
+	// Process the whole library, recording the running estimate.
+	res, err := livepoints.Run(lib, livepoints.RunOpts{Cfg: cfg, RecordHistory: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("online convergence of the CPI estimate (paper §6.1):")
+	fmt.Printf("%8s %10s %10s %s\n", "points", "CPI", "±99.7%CI", "")
+	bar := func(rel float64) string {
+		n := int(rel * 300)
+		if n > 60 {
+			n = 60
+		}
+		return string(make([]byte, 0)) + stars(n)
+	}
+	for _, mark := range []int{1, 5, 10, 20, 30, 50, 75, 100, 150, 200, 300, 400} {
+		if mark-1 >= len(res.History) {
+			break
+		}
+		s := res.History[mark-1]
+		fmt.Printf("%8d %10.4f %9.2f%% %s\n", s.N, s.Mean, 100*s.RelCI, bar(s.RelCI))
+	}
+	last := res.History[len(res.History)-1]
+	fmt.Printf("%8d %10.4f %9.2f%%  final\n", last.N, last.Mean, 100*last.RelCI)
+	fmt.Printf("\nminimum sample before any confidence is reported: %d points (CLT floor)\n",
+		livepoints.MinSampleSize)
+}
+
+func stars(n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = '*'
+	}
+	return string(b)
+}

@@ -1,0 +1,75 @@
+// Quickstart: the 60-second tour of the live-points pipeline.
+//
+// It generates one synthetic benchmark, creates a small live-point library
+// (the one-time cost), then estimates the benchmark's CPI on the 8-way
+// baseline from the library alone — no functional warming at experiment
+// time — and compares the estimate with a complete detailed simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"livepoints"
+)
+
+func main() {
+	cfg := livepoints.Config8Way()
+
+	fmt.Println("1. generating benchmark syn.gzip (scale 0.1)...")
+	p := livepoints.GenerateBenchmark("syn.gzip", 0.1)
+	n, err := livepoints.BenchmarkLength(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   %d dynamic instructions, %d KB data footprint\n", n, p.FootprintBytes()>>10)
+
+	dir, err := os.MkdirTemp("", "livepoints-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	lib := filepath.Join(dir, "gzip.lplib")
+
+	fmt.Println("2. creating the live-point library (one full-warming pass)...")
+	design, err := livepoints.NewDesignFor(p, cfg, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	info, err := livepoints.CreateLibrary(p, design, cfg, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   %d live-points, %.1f KB compressed (%.1f KB/point), created in %v\n",
+		info.Points, float64(info.CompressedBytes)/1024,
+		float64(info.CompressedBytes)/1024/float64(info.Points), time.Since(t0).Round(time.Millisecond))
+
+	fmt.Println("3. estimating CPI from the library (random order, online confidence)...")
+	t0 = time.Now()
+	res, err := livepoints.Run(lib, livepoints.RunOpts{
+		Cfg:    cfg,
+		Z:      livepoints.Z997,
+		RelErr: 0.03,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   CPI = %.4f ±%.2f%% (99.7%% confidence) from %d live-points in %v\n",
+		res.Est.Mean(), 100*res.Est.RelCI(livepoints.Z997), res.Processed,
+		time.Since(t0).Round(time.Millisecond))
+
+	fmt.Println("4. validating against complete detailed simulation...")
+	t0 = time.Now()
+	truth, err := livepoints.CompleteSimulation(cfg, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   complete simulation CPI = %.4f (took %v)\n", truth, time.Since(t0).Round(time.Millisecond))
+	fmt.Printf("   estimation error: %+.2f%%\n", 100*(res.Est.Mean()-truth)/truth)
+}

@@ -1,0 +1,221 @@
+package asn1der
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestInt64RoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 127, 128, -128, -129, 255, 256, 65535, -65536,
+		math.MaxInt64, math.MinInt64, 1 << 31, -(1 << 31)}
+	for _, v := range cases {
+		b := NewBuilder()
+		b.Int64(v)
+		got, err := NewDecoder(b.Bytes()).Int64()
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round-trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 256, 1 << 32, math.MaxUint64, math.MaxUint64 - 1}
+	for _, v := range cases {
+		b := NewBuilder()
+		b.Uint64(v)
+		got, err := NewDecoder(b.Bytes()).Uint64()
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v {
+			t.Fatalf("round-trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestQuickIntRoundTrip(t *testing.T) {
+	if err := quick.Check(func(v int64) bool {
+		b := NewBuilder()
+		b.Int64(v)
+		got, err := NewDecoder(b.Bytes()).Int64()
+		return err == nil && got == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := quick.Check(func(v uint64) bool {
+		b := NewBuilder()
+		b.Uint64(v)
+		got, err := NewDecoder(b.Bytes()).Uint64()
+		return err == nil && got == v
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalIntegerEncoding(t *testing.T) {
+	// DER: 127 encodes in one content byte, 128 needs two (sign pad).
+	b := NewBuilder()
+	b.Int64(127)
+	if !bytes.Equal(b.Bytes(), []byte{0x02, 0x01, 0x7F}) {
+		t.Fatalf("127 encoded as % x", b.Bytes())
+	}
+	b = NewBuilder()
+	b.Int64(128)
+	if !bytes.Equal(b.Bytes(), []byte{0x02, 0x02, 0x00, 0x80}) {
+		t.Fatalf("128 encoded as % x", b.Bytes())
+	}
+	b = NewBuilder()
+	b.Int64(-129)
+	if !bytes.Equal(b.Bytes(), []byte{0x02, 0x02, 0xFF, 0x7F}) {
+		t.Fatalf("-129 encoded as % x", b.Bytes())
+	}
+}
+
+func TestDecoderRejectsNonMinimal(t *testing.T) {
+	// 0x00 0x01 is a non-minimal encoding of 1.
+	bad := []byte{0x02, 0x02, 0x00, 0x01}
+	if _, err := NewDecoder(bad).Int64(); err == nil {
+		t.Fatal("non-minimal integer accepted")
+	}
+	// 0x81 0x05 is a non-minimal length for 5.
+	bad = []byte{0x04, 0x81, 0x05, 1, 2, 3, 4, 5}
+	if _, err := NewDecoder(bad).OctetString(); err == nil {
+		t.Fatal("non-minimal length accepted")
+	}
+}
+
+func TestBoolRoundTrip(t *testing.T) {
+	for _, v := range []bool{true, false} {
+		b := NewBuilder()
+		b.Bool(v)
+		got, err := NewDecoder(b.Bytes()).Bool()
+		if err != nil || got != v {
+			t.Fatalf("bool %v: got %v err %v", v, got, err)
+		}
+	}
+	// DER booleans must be 0x00 or 0xFF.
+	if _, err := NewDecoder([]byte{0x01, 0x01, 0x42}).Bool(); err == nil {
+		t.Fatal("non-canonical boolean accepted")
+	}
+}
+
+func TestOctetStringLengths(t *testing.T) {
+	for _, n := range []int{0, 1, 127, 128, 255, 256, 65535, 65536, 1 << 20} {
+		payload := bytes.Repeat([]byte{0xAB}, n)
+		b := NewBuilder()
+		b.OctetString(payload)
+		got, err := NewDecoder(b.Bytes()).OctetString()
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("n=%d: payload corrupted", n)
+		}
+	}
+}
+
+func TestSequenceNesting(t *testing.T) {
+	b := NewBuilder()
+	b.Sequence(func(b *Builder) {
+		b.UTF8String("outer")
+		b.Sequence(func(b *Builder) {
+			b.Uint64(42)
+			b.Bool(true)
+		})
+		b.Int64(-7)
+	})
+	d, err := NewDecoder(b.Bytes()).Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.UTF8String()
+	if err != nil || s != "outer" {
+		t.Fatalf("string: %q %v", s, err)
+	}
+	inner, err := d.Sequence()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := inner.Uint64(); err != nil || v != 42 {
+		t.Fatalf("inner uint: %d %v", v, err)
+	}
+	if v, err := inner.Bool(); err != nil || !v {
+		t.Fatalf("inner bool: %v %v", v, err)
+	}
+	if inner.More() {
+		t.Fatal("inner decoder should be exhausted")
+	}
+	if v, err := d.Int64(); err != nil || v != -7 {
+		t.Fatalf("outer int: %d %v", v, err)
+	}
+	if d.More() {
+		t.Fatal("outer decoder should be exhausted")
+	}
+}
+
+func TestContextTags(t *testing.T) {
+	b := NewBuilder()
+	b.Context(3, func(b *Builder) { b.Uint64(9) })
+	d := NewDecoder(b.Bytes())
+	tag, err := d.PeekTag()
+	if err != nil || tag != ContextTag(3) {
+		t.Fatalf("peek: %#x %v", tag, err)
+	}
+	cd, err := d.Context(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := cd.Uint64(); err != nil || v != 9 {
+		t.Fatalf("context payload: %d %v", v, err)
+	}
+	// Wrong tag number must fail.
+	b2 := NewBuilder()
+	b2.Context(2, func(b *Builder) {})
+	if _, err := NewDecoder(b2.Bytes()).Context(4); err == nil {
+		t.Fatal("mismatched context tag accepted")
+	}
+}
+
+func TestTruncatedInput(t *testing.T) {
+	b := NewBuilder()
+	b.OctetString(bytes.Repeat([]byte{1}, 300))
+	full := b.Bytes()
+	for _, cut := range []int{0, 1, 2, 3, len(full) - 1} {
+		if _, err := NewDecoder(full[:cut]).OctetString(); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	b := NewBuilder()
+	b.Uint64(5)
+	if _, err := NewDecoder(b.Bytes()).OctetString(); err == nil {
+		t.Fatal("integer decoded as octet string")
+	}
+	if _, err := NewDecoder(b.Bytes()).Bool(); err == nil {
+		t.Fatal("integer decoded as boolean")
+	}
+}
+
+func TestUint64RejectsNegative(t *testing.T) {
+	b := NewBuilder()
+	b.Int64(-5)
+	if _, err := NewDecoder(b.Bytes()).Uint64(); err == nil {
+		t.Fatal("negative integer decoded as unsigned")
+	}
+}
+
+func TestContextTagPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ContextTag(31) should panic")
+		}
+	}()
+	ContextTag(31)
+}

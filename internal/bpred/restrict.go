@@ -1,0 +1,67 @@
+package bpred
+
+import "livepoints/internal/isa"
+
+// BranchOutcome is one commit-order branch execution inside a live-point's
+// window, used to compute which predictor entries the correct path will
+// touch.
+type BranchOutcome struct {
+	PC    uint64 // byte address
+	In    isa.Inst
+	Taken bool
+}
+
+// Restrict returns a copy of the predictor in which every table entry NOT
+// indexed by the given commit-order branch sequence is reset to its
+// power-on value. This realizes the paper's "restricted live-state"
+// ablation (§5, Figure 5): state reachable only via wrong paths is dropped,
+// so wrong-path branches see effectively unwarmed entries.
+//
+// The pattern-history indices the correct path will use are computed by
+// replaying the global history forward from the predictor's current state
+// with the actual outcomes — exactly the commit-order evolution.
+func (p *Predictor) Restrict(branches []BranchOutcome) *Predictor {
+	n := p.Clone()
+	if len(n.bimodal) == 0 && len(n.pht) == 0 && len(n.btb) == 0 {
+		return n
+	}
+	keepBim := make(map[int]bool)
+	keepPHT := make(map[int]bool)
+	keepBTB := make(map[uint64]bool)
+
+	hist := p.ghr
+	mask := uint64(1)<<uint(p.cfg.HistBits) - 1
+	for _, br := range branches {
+		switch {
+		case br.In.Op.IsCondBranch():
+			keepBim[p.bimodalIdx(br.PC)] = true
+			idx := int(((br.PC >> 4) ^ (hist & mask)) & uint64(p.cfg.TableSize-1))
+			keepPHT[idx] = true
+			hist = hist<<1 | boolBit(br.Taken)
+		case br.In.Op == isa.OpJr:
+			keepBTB[br.PC] = true
+		}
+	}
+
+	for i := range n.bimodal {
+		if !keepBim[i] {
+			n.bimodal[i] = 1
+		}
+	}
+	for i := range n.meta {
+		if !keepBim[i] {
+			n.meta[i] = 1
+		}
+	}
+	for i := range n.pht {
+		if !keepPHT[i] {
+			n.pht[i] = 1
+		}
+	}
+	for i := range n.btb {
+		if n.btb[i].valid && !keepBTB[n.btb[i].pc] {
+			n.btb[i] = btbEntry{}
+		}
+	}
+	return n
+}

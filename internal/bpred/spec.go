@@ -1,0 +1,41 @@
+package bpred
+
+import "livepoints/internal/isa"
+
+// SpecLite is the cheap per-branch fetch-time checkpoint used by the
+// detailed core: global history plus the return-address-stack top. This
+// mirrors hardware checkpointing schemes that save only the RAS top
+// pointer — deeper wrong-path RAS corruption persists after recovery,
+// exactly as on a real machine.
+type SpecLite struct {
+	GHR    uint64
+	RASTop int
+	TOS    uint64
+}
+
+// SaveLite captures the lightweight speculative state.
+func (p *Predictor) SaveLite() SpecLite {
+	return SpecLite{GHR: p.ghr, RASTop: p.rasTop, TOS: p.ras[p.rasTop]}
+}
+
+// RestoreLite rolls back to a SaveLite checkpoint.
+func (p *Predictor) RestoreLite(s SpecLite) {
+	p.ghr = s.GHR
+	p.rasTop = s.RASTop
+	p.ras[p.rasTop] = s.TOS
+}
+
+// ApplyOutcome re-applies the speculative side effects of a branch's
+// resolved outcome after RestoreLite: the history shift for conditional
+// branches and the RAS push/pop for calls and returns. Counter training is
+// separate (Update, at commit).
+func (p *Predictor) ApplyOutcome(pc uint64, in isa.Inst, taken bool) {
+	switch {
+	case in.Op == isa.OpCall:
+		p.rasPush(pc + isa.InstBytes)
+	case in.Op == isa.OpRet:
+		p.rasPop()
+	case in.Op.IsCondBranch():
+		p.ghr = p.ghr<<1 | boolBit(taken)
+	}
+}

@@ -1,0 +1,39 @@
+package cache
+
+// Bus models interconnect occupancy between two levels of the hierarchy
+// (the "interconnect bottlenecks" the paper adds to sim-outorder's memory
+// system). A transfer occupies the bus for a fixed number of cycles;
+// requests that arrive while the bus is busy are delayed.
+type Bus struct {
+	name      string
+	perXfer   int
+	nextFree  uint64
+	Transfers uint64
+	WaitCycle uint64
+}
+
+// NewBus returns a bus whose transfers occupy perXfer cycles each.
+// perXfer of zero models an unconstrained interconnect.
+func NewBus(name string, perXfer int) *Bus {
+	return &Bus{name: name, perXfer: perXfer}
+}
+
+// Request schedules a transfer wanted at cycle now and returns the cycle at
+// which the transfer actually starts.
+func (b *Bus) Request(now uint64) uint64 {
+	b.Transfers++
+	start := now
+	if b.nextFree > start {
+		b.WaitCycle += b.nextFree - start
+		start = b.nextFree
+	}
+	b.nextFree = start + uint64(b.perXfer)
+	return start
+}
+
+// Reset clears occupancy and statistics.
+func (b *Bus) Reset() {
+	b.nextFree = 0
+	b.Transfers = 0
+	b.WaitCycle = 0
+}

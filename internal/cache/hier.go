@@ -1,0 +1,224 @@
+package cache
+
+// HierConfig describes the complete memory hierarchy of a simulated
+// machine: split L1 instruction/data caches, a unified L2, instruction and
+// data TLBs, MSHRs on the data side, a store buffer, and the L2/memory
+// interconnects.
+type HierConfig struct {
+	L1I, L1D, L2 Config
+	ITLB, DTLB   Config
+	TLBMissLat   int // cycles added to an access on a TLB miss
+	MemLat       int // main memory access latency in cycles
+	DMSHRs       int // data-side miss status holding registers
+	StoreBufSize int
+	StoreDrain   int // cycles between store-buffer drains
+	L2BusBusy    int // L1<->L2 interconnect occupancy per transfer
+	MemBusBusy   int // L2<->memory interconnect occupancy per transfer
+}
+
+// Validate checks every component configuration.
+func (hc HierConfig) Validate() error {
+	for _, c := range []Config{hc.L1I, hc.L1D, hc.L2, hc.ITLB, hc.DTLB} {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Hier is an instantiated memory hierarchy. It serves two roles with the
+// same state: timing-free functional warming (WarmData/WarmFetch) and
+// latency computation for the detailed core (Load/IFetch/CommitStore).
+type Hier struct {
+	cfg    HierConfig
+	L1I    *Cache
+	L1D    *Cache
+	L2     *Cache
+	ITLB   *Cache
+	DTLB   *Cache
+	MSHR   *MSHRFile
+	SB     *StoreBuffer
+	L2Bus  *Bus
+	MemBus *Bus
+}
+
+// NewHier instantiates an empty hierarchy; the config must validate.
+func NewHier(cfg HierConfig) *Hier {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Hier{
+		cfg:    cfg,
+		L1I:    New(cfg.L1I),
+		L1D:    New(cfg.L1D),
+		L2:     New(cfg.L2),
+		ITLB:   New(cfg.ITLB),
+		DTLB:   New(cfg.DTLB),
+		MSHR:   NewMSHRFile(cfg.DMSHRs),
+		SB:     NewStoreBuffer(cfg.StoreBufSize, cfg.StoreDrain),
+		L2Bus:  NewBus("l2bus", cfg.L2BusBusy),
+		MemBus: NewBus("membus", cfg.MemBusBusy),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hier) Config() HierConfig { return h.cfg }
+
+// --- Functional warming (timing-free) ---------------------------------
+
+// WarmData performs a timing-free data access, updating DTLB, L1D and L2
+// tag and recency state exactly as the detailed path would.
+func (h *Hier) WarmData(addr uint64, write bool) {
+	h.DTLB.Access(addr, false)
+	res := h.L1D.Access(addr, write)
+	if res.Hit {
+		return
+	}
+	if res.VictimDirty {
+		h.L2.Access(res.VictimBlock<<log2(h.cfg.L1D.LineBytes), true)
+	}
+	l2res := h.L2.Access(addr, false)
+	if !l2res.Hit && write {
+		// Write-allocate: the L1 line is dirty; the L2 copy stays clean
+		// until the L1 victim writes back.
+		_ = l2res
+	}
+}
+
+// WarmFetch performs a timing-free instruction fetch access.
+func (h *Hier) WarmFetch(addr uint64) {
+	h.ITLB.Access(addr, false)
+	res := h.L1I.Access(addr, false)
+	if !res.Hit {
+		h.L2.Access(addr, false)
+	}
+}
+
+// --- Detailed timing paths ---------------------------------------------
+
+// Load computes the completion cycle of a load issued at cycle now,
+// updating all hierarchy state (TLB, caches, MSHRs, buses). Forwarding
+// from the store buffer is checked first: forwarded loads complete at L1
+// hit latency without touching the cache.
+func (h *Hier) Load(addr uint64, now uint64) (doneAt uint64) {
+	if h.SB.Contains(addr, now, h.drainFill(now)) {
+		return now + uint64(h.cfg.L1D.HitLat)
+	}
+	start := now
+	if !h.DTLB.Access(addr, false).Hit {
+		start += uint64(h.cfg.TLBMissLat)
+	}
+	res := h.L1D.Access(addr, false)
+	t := start + uint64(h.cfg.L1D.HitLat)
+	if res.Hit {
+		return t
+	}
+	if res.VictimDirty {
+		h.L2Bus.Request(t)
+		h.L2.Access(res.VictimBlock<<log2(h.cfg.L1D.LineBytes), true)
+	}
+	t = h.L2Bus.Request(t) + uint64(h.cfg.L2.HitLat)
+	l2res := h.L2.Access(addr, false)
+	if !l2res.Hit {
+		if l2res.VictimDirty {
+			h.MemBus.Request(t)
+		}
+		t = h.MemBus.Request(t) + uint64(h.cfg.MemLat)
+	}
+	return h.MSHR.Request(h.L1D.BlockOf(addr), now, t)
+}
+
+// StoreAddr computes the completion cycle of a store's address/tag check at
+// issue time. The data write itself happens at commit via CommitStore; at
+// issue a store only occupies a port and checks the TLB.
+func (h *Hier) StoreAddr(addr uint64, now uint64) (doneAt uint64) {
+	start := now
+	if !h.DTLB.Access(addr, false).Hit {
+		start += uint64(h.cfg.TLBMissLat)
+	}
+	return start + uint64(h.cfg.L1D.HitLat)
+}
+
+// CommitStore enters a committed store into the store buffer, returning
+// commit stall cycles (non-zero only when the buffer is full).
+func (h *Hier) CommitStore(addr uint64, now uint64) (stall uint64) {
+	return h.SB.Push(addr, now, h.drainFill(now))
+}
+
+// drainFill returns the fill callback used when store-buffer entries drain:
+// the drained store performs its cache write.
+func (h *Hier) drainFill(now uint64) func(addr uint64) {
+	return func(addr uint64) {
+		res := h.L1D.Access(addr, true)
+		if !res.Hit {
+			if res.VictimDirty {
+				h.L2.Access(res.VictimBlock<<log2(h.cfg.L1D.LineBytes), true)
+			}
+			h.L2.Access(addr, false)
+			h.MSHR.Request(h.L1D.BlockOf(addr), now, now+uint64(h.cfg.L2.HitLat))
+		}
+	}
+}
+
+// IFetch computes the completion cycle of an instruction-cache line fetch
+// issued at cycle now.
+func (h *Hier) IFetch(addr uint64, now uint64) (doneAt uint64) {
+	start := now
+	if !h.ITLB.Access(addr, false).Hit {
+		start += uint64(h.cfg.TLBMissLat)
+	}
+	res := h.L1I.Access(addr, false)
+	t := start + uint64(h.cfg.L1I.HitLat)
+	if res.Hit {
+		return t
+	}
+	t = h.L2Bus.Request(t) + uint64(h.cfg.L2.HitLat)
+	if !h.L2.Access(addr, false).Hit {
+		t = h.MemBus.Request(t) + uint64(h.cfg.MemLat)
+	}
+	return t
+}
+
+// ResetTransients clears cycle-domain state (MSHRs, store buffer, buses)
+// while preserving cache and TLB contents. The detailed core calls this at
+// the start of each window because its cycle counter restarts at zero while
+// the warmed tag state carries over.
+func (h *Hier) ResetTransients() {
+	h.MSHR.Reset()
+	h.SB.Reset()
+	h.L2Bus.Reset()
+	h.MemBus.Reset()
+}
+
+// Reset empties every structure (cold caches).
+func (h *Hier) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.ITLB.Reset()
+	h.DTLB.Reset()
+	h.MSHR.Reset()
+	h.SB.Reset()
+	h.L2Bus.Reset()
+	h.MemBus.Reset()
+}
+
+// Clone deep-copies the hierarchy state.
+func (h *Hier) Clone() *Hier {
+	n := NewHier(h.cfg)
+	n.L1I = h.L1I.Clone()
+	n.L1D = h.L1D.Clone()
+	n.L2 = h.L2.Clone()
+	n.ITLB = h.ITLB.Clone()
+	n.DTLB = h.DTLB.Clone()
+	return n
+}
+
+func log2(v int64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

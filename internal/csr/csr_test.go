@@ -1,0 +1,241 @@
+package csr
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"livepoints/internal/cache"
+)
+
+// warmWithStream drives an access stream into a cache.
+func warmWithStream(c *cache.Cache, addrs []uint64, writes []bool) {
+	for i, a := range addrs {
+		c.Access(a, writes[i])
+	}
+}
+
+// randomStream builds a deterministic pseudo-random access stream with
+// locality (mix of sequential runs and random jumps).
+func randomStream(seed int64, n int, span uint64) ([]uint64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	addrs := make([]uint64, n)
+	writes := make([]bool, n)
+	cur := uint64(0)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(4) {
+		case 0:
+			cur = rng.Uint64() % span
+		default:
+			cur = (cur + 64) % span
+		}
+		addrs[i] = cur &^ 7
+		writes[i] = rng.Intn(4) == 0
+	}
+	return addrs, writes
+}
+
+func lineSet(c *cache.Cache) []cache.Line {
+	var ls []cache.Line
+	c.VisitLines(func(l cache.Line) { ls = append(ls, l) })
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Block < ls[j].Block })
+	return ls
+}
+
+// TestCSRReconstructionExact is the load-bearing CSR property (§4.3): for
+// any smaller and/or less associative target, reconstructing from a CSR
+// captured at the maximum configuration yields exactly the cache contents
+// direct warming of the target would have produced.
+func TestCSRReconstructionExact(t *testing.T) {
+	maxCfg := cache.Config{Name: "l2", SizeBytes: 1 << 20, Assoc: 8, LineBytes: 128, HitLat: 12}
+	targets := []cache.Config{
+		{Name: "l2", SizeBytes: 1 << 20, Assoc: 8, LineBytes: 128, HitLat: 12}, // identity
+		{Name: "l2", SizeBytes: 512 << 10, Assoc: 8, LineBytes: 128, HitLat: 12},
+		{Name: "l2", SizeBytes: 512 << 10, Assoc: 4, LineBytes: 128, HitLat: 12},
+		{Name: "l2", SizeBytes: 256 << 10, Assoc: 2, LineBytes: 128, HitLat: 12},
+		{Name: "l2", SizeBytes: 128 << 10, Assoc: 1, LineBytes: 128, HitLat: 12},
+	}
+	for seed := int64(1); seed <= 5; seed++ {
+		addrs, writes := randomStream(seed, 60_000, 8<<20)
+		big := cache.New(maxCfg)
+		warmWithStream(big, addrs, writes)
+		sr := Capture(big)
+
+		for _, target := range targets {
+			direct := cache.New(target)
+			warmWithStream(direct, addrs, writes)
+
+			rec, err := sr.Reconstruct(target)
+			if err != nil {
+				t.Fatalf("seed %d target %+v: %v", seed, target, err)
+			}
+			want, got := lineSet(direct), lineSet(rec)
+			if len(want) != len(got) {
+				t.Fatalf("seed %d %dKB/%d-way: %d lines reconstructed, want %d",
+					seed, target.SizeBytes>>10, target.Assoc, len(got), len(want))
+			}
+			for i := range want {
+				if want[i].Block != got[i].Block || want[i].Last != got[i].Last {
+					t.Fatalf("seed %d %dKB/%d-way: line %d differs: got %+v want %+v",
+						seed, target.SizeBytes>>10, target.Assoc, i, got[i], want[i])
+				}
+				// Dirty bits are a conservative superset (see package doc).
+				if want[i].Dirty && !got[i].Dirty {
+					t.Fatalf("seed %d %dKB/%d-way: line %d lost dirtiness: got %+v want %+v",
+						seed, target.SizeBytes>>10, target.Assoc, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestCSRRejectsUnreconstructible checks the §4.3 bounds are enforced.
+func TestCSRRejectsUnreconstructible(t *testing.T) {
+	maxCfg := cache.Config{Name: "l2", SizeBytes: 512 << 10, Assoc: 4, LineBytes: 128, HitLat: 12}
+	sr := Capture(cache.New(maxCfg))
+
+	bad := []cache.Config{
+		{Name: "l2", SizeBytes: 1 << 20, Assoc: 4, LineBytes: 128, HitLat: 12},   // bigger
+		{Name: "l2", SizeBytes: 512 << 10, Assoc: 8, LineBytes: 128, HitLat: 12}, // more assoc
+		{Name: "l2", SizeBytes: 512 << 10, Assoc: 4, LineBytes: 64, HitLat: 12},  // other line
+		{Name: "l2", SizeBytes: 512 << 10, Assoc: 1, LineBytes: 128, HitLat: 12}, // more sets
+	}
+	for _, cfg := range bad {
+		if err := sr.CanReconstruct(cfg); err == nil {
+			t.Errorf("config %+v should be rejected", cfg)
+		}
+	}
+	ok := cache.Config{Name: "l2", SizeBytes: 256 << 10, Assoc: 4, LineBytes: 128, HitLat: 12}
+	if err := sr.CanReconstruct(ok); err != nil {
+		t.Errorf("config %+v should be reconstructible: %v", ok, err)
+	}
+}
+
+// TestCSRRestrict checks the restricted-live-state filter keeps exactly the
+// requested blocks.
+func TestCSRRestrict(t *testing.T) {
+	cfg := cache.Config{Name: "l1d", SizeBytes: 32 << 10, Assoc: 2, LineBytes: 32, HitLat: 1}
+	c := cache.New(cfg)
+	addrs, writes := randomStream(7, 10_000, 1<<20)
+	warmWithStream(c, addrs, writes)
+	sr := Capture(c)
+
+	keep := map[uint64]bool{}
+	for i := 0; i < len(sr.Entries); i += 2 {
+		keep[sr.Entries[i].Block] = true
+	}
+	restricted := sr.Restrict(keep)
+	if restricted.Len() != len(keep) {
+		t.Fatalf("restricted to %d blocks, got %d", len(keep), restricted.Len())
+	}
+	for _, e := range restricted.Entries {
+		if !keep[e.Block] {
+			t.Fatalf("block %d survived restriction but was not kept", e.Block)
+		}
+	}
+}
+
+// TestMTRMatchesDirectWarmingForL1 checks MTR reconstruction is exact for a
+// cache observing the raw reference stream.
+func TestMTRMatchesDirectWarmingForL1(t *testing.T) {
+	cfg := cache.Config{Name: "l1d", SizeBytes: 32 << 10, Assoc: 2, LineBytes: 32, HitLat: 1}
+	addrs, writes := randomStream(11, 40_000, 4<<20)
+
+	direct := cache.New(cfg)
+	mtr := NewMTR(cfg.LineBytes)
+	for i, a := range addrs {
+		direct.Access(a, writes[i])
+		mtr.Touch(a, writes[i])
+	}
+	rec, err := mtr.Reconstruct(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, got := lineSet(direct), lineSet(rec)
+	if len(want) != len(got) {
+		t.Fatalf("MTR reconstructed %d lines, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Block != got[i].Block {
+			t.Fatalf("line %d differs: got %+v want %+v", i, got[i], want[i])
+		}
+		if want[i].Dirty && !got[i].Dirty {
+			t.Fatalf("line %d lost dirtiness: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMTRStorageGrowsWithFootprint demonstrates the MTR-vs-CSR storage
+// trade-off the paper describes: MTR cost tracks footprint, CSR cost is
+// capped by the captured cache size.
+func TestMTRStorageGrowsWithFootprint(t *testing.T) {
+	cfg := cache.Config{Name: "l2", SizeBytes: 256 << 10, Assoc: 4, LineBytes: 128, HitLat: 12}
+	small, _ := randomStream(3, 30_000, 1<<20)
+	large, _ := randomStream(3, 30_000, 16<<20)
+
+	mtrSmall, mtrLarge := NewMTR(128), NewMTR(128)
+	cSmall, cLarge := cache.New(cfg), cache.New(cfg)
+	for _, a := range small {
+		mtrSmall.Touch(a, false)
+		cSmall.Access(a, false)
+	}
+	for _, a := range large {
+		mtrLarge.Touch(a, false)
+		cLarge.Access(a, false)
+	}
+	if mtrLarge.StorageBytes() <= mtrSmall.StorageBytes()*2 {
+		t.Errorf("MTR storage should grow with footprint: %d vs %d",
+			mtrLarge.StorageBytes(), mtrSmall.StorageBytes())
+	}
+	csrSmall, csrLarge := Capture(cSmall), Capture(cLarge)
+	capBytes := int(cfg.Lines()) * 17
+	if csrLarge.StorageBytes() > capBytes || csrSmall.StorageBytes() > capBytes {
+		t.Errorf("CSR storage must be capped by tag-array size %d: got %d / %d",
+			capBytes, csrSmall.StorageBytes(), csrLarge.StorageBytes())
+	}
+}
+
+// TestCSRQuickProperty drives randomized geometry/stream combinations
+// through capture-and-reconstruct, checking block-content equality with
+// direct warming.
+func TestCSRQuickProperty(t *testing.T) {
+	f := func(seed int64, pick uint8) bool {
+		maxCfg := cache.Config{Name: "c", SizeBytes: 128 << 10, Assoc: 4, LineBytes: 64, HitLat: 1}
+		targetChoices := []cache.Config{
+			{Name: "c", SizeBytes: 64 << 10, Assoc: 4, LineBytes: 64, HitLat: 1},
+			{Name: "c", SizeBytes: 64 << 10, Assoc: 2, LineBytes: 64, HitLat: 1},
+			{Name: "c", SizeBytes: 32 << 10, Assoc: 1, LineBytes: 64, HitLat: 1},
+			{Name: "c", SizeBytes: 32 << 10, Assoc: 2, LineBytes: 64, HitLat: 1},
+		}
+		target := targetChoices[int(pick)%len(targetChoices)]
+		addrs, writes := randomStream(seed, 8_000, 2<<20)
+
+		big := cache.New(maxCfg)
+		direct := cache.New(target)
+		for i := range addrs {
+			big.Access(addrs[i], writes[i])
+			direct.Access(addrs[i], writes[i])
+		}
+		rec, err := Capture(big).Reconstruct(target)
+		if err != nil {
+			return false
+		}
+		want, got := lineSet(direct), lineSet(rec)
+		if len(want) != len(got) {
+			return false
+		}
+		for i := range want {
+			if want[i].Block != got[i].Block || want[i].Last != got[i].Last {
+				return false
+			}
+			if want[i].Dirty && !got[i].Dirty {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

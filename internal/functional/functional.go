@@ -1,0 +1,299 @@
+// Package functional implements the architectural (functional) simulator:
+// the reference executor that defines the ISA's semantics.
+//
+// Both the functional-warming engine and the detailed out-of-order core
+// execute instructions through Exec, so architectural behaviour is defined
+// in exactly one place. This is the property behind the SMARTS-style
+// handoff invariant: a detailed window that commits N instructions must
+// leave the architecture in the same state as N functional steps.
+package functional
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"livepoints/internal/isa"
+	"livepoints/internal/mem"
+)
+
+// TextSource supplies instructions. ok=false means the address holds no
+// known instruction (possible when running on a live-point's sparse text;
+// the functional correct path must never see it, but wrong-path fetch in
+// the detailed simulator may).
+type TextSource interface {
+	Fetch(pc uint64) (isa.Inst, bool)
+}
+
+// MemRW combines the memory read and write interfaces.
+type MemRW interface {
+	mem.Reader
+	mem.Writer
+}
+
+// State is the complete architectural state of the simulated CPU.
+type State struct {
+	PC      uint64 // instruction index
+	Regs    [isa.NumRegs]uint64
+	Halted  bool
+	InstRet uint64 // retired (committed) instruction count
+}
+
+// Clone returns a copy of the state.
+func (s *State) Clone() State { return *s }
+
+// Reg reads a register honouring the hardwired zero register.
+func (s *State) Reg(r uint8) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return s.Regs[r]
+}
+
+// SetReg writes a register honouring the hardwired zero register.
+func (s *State) SetReg(r uint8, v uint64) {
+	if r != isa.RegZero {
+		s.Regs[r] = v
+	}
+}
+
+// Result describes the architectural effects of one executed instruction,
+// for consumers that need more than the state update (warming, the detailed
+// core's dispatch, live-state capture).
+type Result struct {
+	// NextPC is the architecturally correct next instruction index.
+	NextPC uint64
+	// Taken is true when a control transfer redirected the PC.
+	Taken bool
+	// IsMem/IsLoad/IsStore classify memory behaviour; MemAddr is the
+	// word-aligned effective byte address.
+	IsMem   bool
+	IsLoad  bool
+	IsStore bool
+	MemAddr uint64
+	// LoadOK is false when a load's value was unavailable in a sparse
+	// image (the wrong-path "unknown value" case; zero was substituted).
+	LoadOK bool
+	// Halt is true for OpHalt.
+	Halt bool
+}
+
+// Exec executes one instruction against st and m, updating both, and
+// returns the architectural effects. It never advances st.PC — the caller
+// decides how to use Result.NextPC (the functional CPU assigns it; the
+// detailed core uses it for its own sequencing and squash checks).
+func Exec(st *State, in isa.Inst, m MemRW) Result {
+	res := Result{NextPC: st.PC + 1, LoadOK: true}
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)+st.Reg(in.Rs2))
+	case isa.OpSub:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)-st.Reg(in.Rs2))
+	case isa.OpAnd:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)&st.Reg(in.Rs2))
+	case isa.OpOr:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)|st.Reg(in.Rs2))
+	case isa.OpXor:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)^st.Reg(in.Rs2))
+	case isa.OpShl:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)<<(st.Reg(in.Rs2)&63))
+	case isa.OpShr:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)>>(st.Reg(in.Rs2)&63))
+	case isa.OpAddI:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)+uint64(in.Imm))
+	case isa.OpAndI:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)&uint64(in.Imm))
+	case isa.OpShlI:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)<<(uint64(in.Imm)&63))
+	case isa.OpShrI:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)>>(uint64(in.Imm)&63))
+	case isa.OpLui:
+		st.SetReg(in.Rd, uint64(in.Imm))
+	case isa.OpSlt:
+		st.SetReg(in.Rd, boolToU64(int64(st.Reg(in.Rs1)) < int64(st.Reg(in.Rs2))))
+	case isa.OpSltI:
+		st.SetReg(in.Rd, boolToU64(int64(st.Reg(in.Rs1)) < in.Imm))
+	case isa.OpMul:
+		st.SetReg(in.Rd, st.Reg(in.Rs1)*st.Reg(in.Rs2))
+	case isa.OpDiv:
+		d := int64(st.Reg(in.Rs2))
+		if d == 0 {
+			st.SetReg(in.Rd, 0)
+		} else {
+			st.SetReg(in.Rd, uint64(int64(st.Reg(in.Rs1))/d))
+		}
+	case isa.OpRem:
+		d := int64(st.Reg(in.Rs2))
+		if d == 0 {
+			st.SetReg(in.Rd, 0)
+		} else {
+			st.SetReg(in.Rd, uint64(int64(st.Reg(in.Rs1))%d))
+		}
+	case isa.OpFAdd:
+		st.SetReg(in.Rd, fop(st.Reg(in.Rs1), st.Reg(in.Rs2), func(a, b float64) float64 { return a + b }))
+	case isa.OpFSub:
+		st.SetReg(in.Rd, fop(st.Reg(in.Rs1), st.Reg(in.Rs2), func(a, b float64) float64 { return a - b }))
+	case isa.OpFMul:
+		st.SetReg(in.Rd, fop(st.Reg(in.Rs1), st.Reg(in.Rs2), func(a, b float64) float64 { return a * b }))
+	case isa.OpFDiv:
+		st.SetReg(in.Rd, fop(st.Reg(in.Rs1), st.Reg(in.Rs2), fdiv))
+	case isa.OpFCmp:
+		a := math.Float64frombits(st.Reg(in.Rs1))
+		b := math.Float64frombits(st.Reg(in.Rs2))
+		st.SetReg(in.Rd, boolToU64(a < b))
+	case isa.OpLoad:
+		addr := mem.WordAlign(st.Reg(in.Rs1) + uint64(in.Imm))
+		v, ok := m.ReadWord(addr)
+		st.SetReg(in.Rd, v)
+		res.IsMem, res.IsLoad, res.MemAddr, res.LoadOK = true, true, addr, ok
+	case isa.OpStore:
+		addr := mem.WordAlign(st.Reg(in.Rs1) + uint64(in.Imm))
+		m.WriteWord(addr, st.Reg(in.Rs2))
+		res.IsMem, res.IsStore, res.MemAddr = true, true, addr
+	case isa.OpBeq:
+		res.Taken = st.Reg(in.Rs1) == st.Reg(in.Rs2)
+	case isa.OpBne:
+		res.Taken = st.Reg(in.Rs1) != st.Reg(in.Rs2)
+	case isa.OpBltz:
+		res.Taken = int64(st.Reg(in.Rs1)) < 0
+	case isa.OpBgez:
+		res.Taken = int64(st.Reg(in.Rs1)) >= 0
+	case isa.OpJmp:
+		res.Taken = true
+	case isa.OpJr, isa.OpRet:
+		res.Taken = true
+		res.NextPC = st.Reg(in.Rs1)
+	case isa.OpCall:
+		st.SetReg(in.Rd, st.PC+1)
+		res.Taken = true
+	case isa.OpHalt:
+		res.Halt = true
+		res.NextPC = st.PC
+	default:
+		// Unknown opcodes (possible only on wrong paths over unavailable
+		// text) behave as nops.
+	}
+	if res.Taken && in.Op != isa.OpJr && in.Op != isa.OpRet {
+		res.NextPC = uint64(in.Imm)
+	}
+	return res
+}
+
+func boolToU64(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func fop(a, b uint64, f func(float64, float64) float64) uint64 {
+	return math.Float64bits(f(math.Float64frombits(a), math.Float64frombits(b)))
+}
+
+func fdiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// ErrHalted is returned by Step/Run once the program has halted.
+var ErrHalted = errors.New("functional: program halted")
+
+// ErrNoText is returned when the correct-path PC has no instruction.
+var ErrNoText = errors.New("functional: fetch from unavailable text")
+
+// Warmer receives architectural events during functional execution to keep
+// long-history microarchitectural structures warm (the paper's functional
+// warming). All addresses are byte addresses.
+type Warmer interface {
+	// WarmFetch is called once per executed instruction with the
+	// instruction's byte address.
+	WarmFetch(addr uint64)
+	// WarmMem is called for each data access with the word-aligned
+	// effective address.
+	WarmMem(addr uint64, write bool)
+	// WarmBranch is called for each control-transfer instruction with its
+	// byte address, the taken outcome, and the target byte address.
+	WarmBranch(addr uint64, in isa.Inst, taken bool, target uint64)
+}
+
+// CPU is the functional simulator: architectural state bound to a text
+// source and a memory, with optional functional warming.
+type CPU struct {
+	State
+	Text TextSource
+	Mem  MemRW
+
+	// Warm, when non-nil, receives warming events for every executed
+	// instruction (the SMARTS functional-warming mode). Swap to nil for
+	// pure fast-forward functional simulation.
+	Warm Warmer
+}
+
+// New returns a functional CPU at PC 0 over the given text and memory.
+func New(text TextSource, m MemRW) *CPU {
+	return &CPU{Text: text, Mem: m}
+}
+
+// Step executes one instruction. It returns ErrHalted when the program has
+// already halted and ErrNoText when the PC has no instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return ErrHalted
+	}
+	in, ok := c.Text.Fetch(c.PC)
+	if !ok {
+		return fmt.Errorf("%w: pc %d", ErrNoText, c.PC)
+	}
+	res := Exec(&c.State, in, c.Mem)
+	if c.Warm != nil {
+		c.Warm.WarmFetch(isa.PCToAddr(c.PC))
+		if res.IsMem {
+			c.Warm.WarmMem(res.MemAddr, res.IsStore)
+		}
+		if in.Op.IsBranch() {
+			c.Warm.WarmBranch(isa.PCToAddr(c.PC), in, res.Taken, isa.PCToAddr(res.NextPC))
+		}
+	}
+	if res.Halt {
+		c.Halted = true
+		return nil
+	}
+	c.PC = res.NextPC
+	c.InstRet++
+	return nil
+}
+
+// Run executes up to n instructions, stopping early on halt. It returns the
+// number actually executed.
+func (c *CPU) Run(n uint64) (uint64, error) {
+	var done uint64
+	for done < n {
+		if c.Halted {
+			return done, nil
+		}
+		if err := c.Step(); err != nil {
+			return done, err
+		}
+		if c.Halted {
+			return done, nil
+		}
+		done++
+	}
+	return done, nil
+}
+
+// RunToHalt executes until the program halts, with a safety bound to guard
+// against generator bugs producing unbounded programs.
+func (c *CPU) RunToHalt(maxInst uint64) (uint64, error) {
+	done, err := c.Run(maxInst)
+	if err != nil {
+		return done, err
+	}
+	if !c.Halted {
+		return done, fmt.Errorf("functional: program did not halt within %d instructions", maxInst)
+	}
+	return done, nil
+}

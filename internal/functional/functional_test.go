@@ -1,0 +1,222 @@
+package functional
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"livepoints/internal/isa"
+	"livepoints/internal/mem"
+)
+
+// sliceText adapts a []isa.Inst to TextSource.
+type sliceText []isa.Inst
+
+func (s sliceText) Fetch(pc uint64) (isa.Inst, bool) {
+	if pc >= uint64(len(s)) {
+		return isa.Inst{}, false
+	}
+	return s[pc], true
+}
+
+func run(t *testing.T, text []isa.Inst, maxInst uint64) *CPU {
+	t.Helper()
+	cpu := New(sliceText(text), mem.New())
+	if _, err := cpu.RunToHalt(maxInst); err != nil {
+		t.Fatal(err)
+	}
+	return cpu
+}
+
+func TestArithmetic(t *testing.T) {
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: 20},
+		{Op: isa.OpLui, Rd: 2, Imm: 3},
+		{Op: isa.OpAdd, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OpSub, Rd: 4, Rs1: 1, Rs2: 2},
+		{Op: isa.OpMul, Rd: 5, Rs1: 1, Rs2: 2},
+		{Op: isa.OpDiv, Rd: 6, Rs1: 1, Rs2: 2},
+		{Op: isa.OpRem, Rd: 7, Rs1: 1, Rs2: 2},
+		{Op: isa.OpShlI, Rd: 8, Rs1: 1, Imm: 2},
+		{Op: isa.OpSlt, Rd: 9, Rs1: 2, Rs2: 1},
+		{Op: isa.OpHalt},
+	}, 100)
+	want := map[uint8]uint64{3: 23, 4: 17, 5: 60, 6: 6, 7: 2, 8: 80, 9: 1}
+	for r, v := range want {
+		if cpu.Regs[r] != v {
+			t.Errorf("r%d = %d, want %d", r, cpu.Regs[r], v)
+		}
+	}
+}
+
+func TestDivideByZeroYieldsZero(t *testing.T) {
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: 7},
+		{Op: isa.OpDiv, Rd: 2, Rs1: 1, Rs2: 0},
+		{Op: isa.OpRem, Rd: 3, Rs1: 1, Rs2: 0},
+		{Op: isa.OpHalt},
+	}, 10)
+	if cpu.Regs[2] != 0 || cpu.Regs[3] != 0 {
+		t.Fatalf("div/rem by zero: %d %d", cpu.Regs[2], cpu.Regs[3])
+	}
+}
+
+func TestFloatingPoint(t *testing.T) {
+	bits := math.Float64bits
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: int64(bits(1.5))},
+		{Op: isa.OpLui, Rd: 2, Imm: int64(bits(2.0))},
+		{Op: isa.OpFAdd, Rd: 3, Rs1: 1, Rs2: 2},
+		{Op: isa.OpFMul, Rd: 4, Rs1: 1, Rs2: 2},
+		{Op: isa.OpFDiv, Rd: 5, Rs1: 2, Rs2: 1},
+		{Op: isa.OpFSub, Rd: 6, Rs1: 2, Rs2: 1},
+		{Op: isa.OpFCmp, Rd: 7, Rs1: 1, Rs2: 2},
+		{Op: isa.OpHalt},
+	}, 10)
+	checks := map[uint8]float64{3: 3.5, 4: 3.0, 5: 2.0 / 1.5, 6: 0.5}
+	for r, v := range checks {
+		if got := math.Float64frombits(cpu.Regs[r]); got != v {
+			t.Errorf("r%d = %v, want %v", r, got, v)
+		}
+	}
+	if cpu.Regs[7] != 1 {
+		t.Error("fcmp 1.5 < 2.0 should be 1")
+	}
+}
+
+func TestRegisterZeroHardwired(t *testing.T) {
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpLui, Rd: 0, Imm: 99},
+		{Op: isa.OpAddI, Rd: 1, Rs1: 0, Imm: 5},
+		{Op: isa.OpHalt},
+	}, 10)
+	if cpu.Regs[0] != 0 {
+		t.Fatal("r0 was written")
+	}
+	if cpu.Regs[1] != 5 {
+		t.Fatalf("r1 = %d", cpu.Regs[1])
+	}
+}
+
+func TestLoadStore(t *testing.T) {
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: 0x10000},
+		{Op: isa.OpLui, Rd: 2, Imm: 77},
+		{Op: isa.OpStore, Rs1: 1, Rs2: 2, Imm: 8},
+		{Op: isa.OpLoad, Rd: 3, Rs1: 1, Imm: 8},
+		{Op: isa.OpHalt},
+	}, 10)
+	if cpu.Regs[3] != 77 {
+		t.Fatalf("load got %d", cpu.Regs[3])
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	// Loop: r1 counts down from 3; r2 accumulates.
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: 3},
+		{Op: isa.OpAddI, Rd: 2, Rs1: 2, Imm: 10}, // loop body
+		{Op: isa.OpAddI, Rd: 1, Rs1: 1, Imm: -1},
+		{Op: isa.OpBne, Rs1: 1, Rs2: 0, Imm: 1},
+		{Op: isa.OpHalt},
+	}, 100)
+	if cpu.Regs[2] != 30 {
+		t.Fatalf("r2 = %d, want 30", cpu.Regs[2])
+	}
+	if cpu.InstRet != 1+3*3 {
+		t.Fatalf("InstRet = %d", cpu.InstRet)
+	}
+}
+
+func TestCallReturn(t *testing.T) {
+	cpu := run(t, []isa.Inst{
+		{Op: isa.OpCall, Rd: isa.RegLink, Imm: 3}, // call sub
+		{Op: isa.OpAddI, Rd: 2, Rs1: 2, Imm: 1},   // after return
+		{Op: isa.OpHalt},
+		{Op: isa.OpAddI, Rd: 3, Rs1: 3, Imm: 7}, // sub:
+		{Op: isa.OpRet, Rs1: isa.RegLink},
+	}, 100)
+	if cpu.Regs[3] != 7 || cpu.Regs[2] != 1 {
+		t.Fatalf("r3=%d r2=%d", cpu.Regs[3], cpu.Regs[2])
+	}
+}
+
+func TestStepAfterHalt(t *testing.T) {
+	cpu := run(t, []isa.Inst{{Op: isa.OpHalt}}, 10)
+	if err := cpu.Step(); !errors.Is(err, ErrHalted) {
+		t.Fatalf("step after halt: %v", err)
+	}
+}
+
+func TestFetchBeyondText(t *testing.T) {
+	cpu := New(sliceText([]isa.Inst{{Op: isa.OpNop}}), mem.New())
+	cpu.Step() // nop, pc -> 1
+	if err := cpu.Step(); !errors.Is(err, ErrNoText) {
+		t.Fatalf("fetch beyond text: %v", err)
+	}
+}
+
+func TestRunToHaltBound(t *testing.T) {
+	// Infinite loop must be caught by the bound.
+	cpu := New(sliceText([]isa.Inst{{Op: isa.OpJmp, Imm: 0}}), mem.New())
+	if _, err := cpu.RunToHalt(1000); err == nil {
+		t.Fatal("unbounded loop not detected")
+	}
+}
+
+func TestWarmerReceivesEvents(t *testing.T) {
+	text := []isa.Inst{
+		{Op: isa.OpLui, Rd: 1, Imm: 0x20000},
+		{Op: isa.OpLoad, Rd: 2, Rs1: 1},
+		{Op: isa.OpStore, Rs1: 1, Rs2: 2, Imm: 8},
+		{Op: isa.OpBne, Rs1: 0, Rs2: 0, Imm: 0}, // not taken
+		{Op: isa.OpHalt},
+	}
+	cpu := New(sliceText(text), mem.New())
+	w := &countingWarmer{}
+	cpu.Warm = w
+	if _, err := cpu.RunToHalt(100); err != nil {
+		t.Fatal(err)
+	}
+	if w.fetches != 5 {
+		t.Errorf("fetches=%d, want 5 (one per executed instruction incl. halt)", w.fetches)
+	}
+	if w.mems != 2 {
+		t.Errorf("mems=%d, want 2", w.mems)
+	}
+	if w.branches != 1 {
+		t.Errorf("branches=%d, want 1", w.branches)
+	}
+}
+
+type countingWarmer struct {
+	fetches, mems, branches int
+}
+
+func (w *countingWarmer) WarmFetch(addr uint64)                     { w.fetches++ }
+func (w *countingWarmer) WarmMem(addr uint64, write bool)           { w.mems++ }
+func (w *countingWarmer) WarmBranch(uint64, isa.Inst, bool, uint64) { w.branches++ }
+
+func TestExecAgainstImage(t *testing.T) {
+	// Loads from an image report availability; Exec substitutes zero.
+	img := mem.NewImage(map[uint64]uint64{0x100: 42})
+	st := &State{}
+	st.SetReg(1, 0x100)
+	res := Exec(st, isa.Inst{Op: isa.OpLoad, Rd: 2, Rs1: 1}, wrapImage{img})
+	if !res.LoadOK || st.Reg(2) != 42 {
+		t.Fatalf("captured load: ok=%v v=%d", res.LoadOK, st.Reg(2))
+	}
+	st.SetReg(1, 0x200)
+	res = Exec(st, isa.Inst{Op: isa.OpLoad, Rd: 2, Rs1: 1}, wrapImage{img})
+	if res.LoadOK {
+		t.Fatal("uncaptured load reported available")
+	}
+	if st.Reg(2) != 0 {
+		t.Fatal("unavailable load must substitute zero")
+	}
+}
+
+// wrapImage adds a panicking writer to a read-only image.
+type wrapImage struct{ *mem.Image }
+
+func (wrapImage) WriteWord(addr, val uint64) { panic("write to read-only image") }

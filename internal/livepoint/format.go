@@ -1,0 +1,355 @@
+package livepoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"livepoints/internal/asn1der"
+	"livepoints/internal/bpred"
+	"livepoints/internal/cache"
+	"livepoints/internal/csr"
+	"livepoints/internal/isa"
+)
+
+// SizeBreakdown reports the encoded byte size of each live-point section —
+// the data behind Figure 7.
+type SizeBreakdown struct {
+	Header int // identity, position, window geometry
+	Arch   int // registers and PC ("register files, system state")
+	Mem    int // memory data (live-state values)
+	Text   int // instruction text
+	L1I    int
+	L1D    int
+	L2     int
+	TLB    int
+	Bpred  int
+}
+
+// Total returns the whole encoded size.
+func (b SizeBreakdown) Total() int {
+	return b.Header + b.Arch + b.Mem + b.Text + b.L1I + b.L1D + b.L2 + b.TLB + b.Bpred
+}
+
+// Encode serializes a live-point to ASN.1 DER (§3), returning the bytes and
+// the per-section size breakdown.
+func Encode(lp *LivePoint) ([]byte, SizeBreakdown) {
+	var bd SizeBreakdown
+	b := asn1der.NewBuilder()
+	b.Sequence(func(b *asn1der.Builder) {
+		mark := b.Len()
+		b.UTF8String(lp.Benchmark)
+		b.Uint64(uint64(lp.Index))
+		b.Uint64(lp.Position)
+		b.Uint64(lp.WarmLen)
+		b.Uint64(lp.UnitLen)
+		b.Uint64(lp.FuncWarm)
+		b.Bool(lp.Restricted)
+		bd.Header = b.Len() - mark
+
+		mark = b.Len()
+		b.Context(0, func(b *asn1der.Builder) {
+			b.Uint64(lp.Arch.PC)
+			regs := make([]byte, 8*isa.NumRegs)
+			for i, v := range lp.Arch.Regs {
+				binary.LittleEndian.PutUint64(regs[i*8:], v)
+			}
+			b.OctetString(regs)
+		})
+		bd.Arch = b.Len() - mark
+
+		mark = b.Len()
+		b.Context(1, func(b *asn1der.Builder) {
+			b.OctetString(packMem(lp.Mem))
+		})
+		bd.Mem = b.Len() - mark
+
+		mark = b.Len()
+		b.Context(2, func(b *asn1der.Builder) {
+			for _, r := range lp.Text {
+				b.Sequence(func(b *asn1der.Builder) {
+					b.Uint64(r.StartPC)
+					b.OctetString(isa.EncodeText(r.Insts))
+				})
+			}
+		})
+		bd.Text = b.Len() - mark
+
+		for i, sr := range lp.Caches {
+			mark = b.Len()
+			b.Context(3, func(b *asn1der.Builder) { encodeSetRecord(b, sr) })
+			switch i {
+			case 0:
+				bd.L1I = b.Len() - mark
+			case 1:
+				bd.L1D = b.Len() - mark
+			default:
+				bd.L2 = b.Len() - mark
+			}
+		}
+		mark = b.Len()
+		for _, sr := range lp.TLBs {
+			b.Context(4, func(b *asn1der.Builder) { encodeSetRecord(b, sr) })
+		}
+		bd.TLB = b.Len() - mark
+
+		mark = b.Len()
+		for _, ps := range lp.Preds {
+			b.Context(5, func(b *asn1der.Builder) {
+				encodePredConfig(b, ps.Cfg)
+				b.OctetString(ps.Data)
+			})
+		}
+		bd.Bpred = b.Len() - mark
+	})
+	// The outer SEQUENCE envelope (tag and length octets) counts toward
+	// the header.
+	bd.Header += b.Len() - bd.Total()
+	return b.Bytes(), bd
+}
+
+// Decode parses a live-point from its DER encoding.
+func Decode(buf []byte) (*LivePoint, error) {
+	d, err := asn1der.NewDecoder(buf).Sequence()
+	if err != nil {
+		return nil, fmt.Errorf("livepoint: decode: %w", err)
+	}
+	lp := &LivePoint{}
+	if lp.Benchmark, err = d.UTF8String(); err != nil {
+		return nil, err
+	}
+	idx, err := d.Uint64()
+	if err != nil {
+		return nil, err
+	}
+	lp.Index = int(idx)
+	if lp.Position, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if lp.WarmLen, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if lp.UnitLen, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if lp.FuncWarm, err = d.Uint64(); err != nil {
+		return nil, err
+	}
+	if lp.Restricted, err = d.Bool(); err != nil {
+		return nil, err
+	}
+
+	ad, err := d.Context(0)
+	if err != nil {
+		return nil, err
+	}
+	if lp.Arch.PC, err = ad.Uint64(); err != nil {
+		return nil, err
+	}
+	regs, err := ad.OctetString()
+	if err != nil {
+		return nil, err
+	}
+	if len(regs) != 8*isa.NumRegs {
+		return nil, fmt.Errorf("livepoint: register block is %d bytes, want %d", len(regs), 8*isa.NumRegs)
+	}
+	for i := range lp.Arch.Regs {
+		lp.Arch.Regs[i] = binary.LittleEndian.Uint64(regs[i*8:])
+	}
+
+	md, err := d.Context(1)
+	if err != nil {
+		return nil, err
+	}
+	memBytes, err := md.OctetString()
+	if err != nil {
+		return nil, err
+	}
+	if lp.Mem, err = unpackMem(memBytes); err != nil {
+		return nil, err
+	}
+
+	td, err := d.Context(2)
+	if err != nil {
+		return nil, err
+	}
+	for td.More() {
+		rd, err := td.Sequence()
+		if err != nil {
+			return nil, err
+		}
+		var r TextRange
+		if r.StartPC, err = rd.Uint64(); err != nil {
+			return nil, err
+		}
+		enc, err := rd.OctetString()
+		if err != nil {
+			return nil, err
+		}
+		if r.Insts, err = isa.DecodeText(enc); err != nil {
+			return nil, err
+		}
+		lp.Text = append(lp.Text, r)
+	}
+
+	for d.More() {
+		tag, err := d.PeekTag()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case asn1der.ContextTag(3):
+			cd, err := d.Context(3)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := decodeSetRecord(cd)
+			if err != nil {
+				return nil, err
+			}
+			lp.Caches = append(lp.Caches, sr)
+		case asn1der.ContextTag(4):
+			cd, err := d.Context(4)
+			if err != nil {
+				return nil, err
+			}
+			sr, err := decodeSetRecord(cd)
+			if err != nil {
+				return nil, err
+			}
+			lp.TLBs = append(lp.TLBs, sr)
+		case asn1der.ContextTag(5):
+			pd, err := d.Context(5)
+			if err != nil {
+				return nil, err
+			}
+			cfg, err := decodePredConfig(pd)
+			if err != nil {
+				return nil, err
+			}
+			data, err := pd.OctetString()
+			if err != nil {
+				return nil, err
+			}
+			snap := make([]byte, len(data))
+			copy(snap, data)
+			lp.Preds = append(lp.Preds, PredSnapshot{Cfg: cfg, Data: snap})
+		default:
+			return nil, fmt.Errorf("livepoint: unexpected section tag %#02x", tag)
+		}
+	}
+	return lp, nil
+}
+
+// packMem serializes the live-state words as sorted (addr, value) pairs.
+// Sorting makes encoding deterministic and helps gzip find structure.
+func packMem(m map[uint64]uint64) []byte {
+	addrs := make([]uint64, 0, len(m))
+	for a := range m {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := make([]byte, 16*len(addrs))
+	for i, a := range addrs {
+		binary.LittleEndian.PutUint64(out[i*16:], a)
+		binary.LittleEndian.PutUint64(out[i*16+8:], m[a])
+	}
+	return out
+}
+
+func unpackMem(b []byte) (map[uint64]uint64, error) {
+	if len(b)%16 != 0 {
+		return nil, fmt.Errorf("livepoint: memory block length %d not a multiple of 16", len(b))
+	}
+	m := make(map[uint64]uint64, len(b)/16)
+	for i := 0; i+16 <= len(b); i += 16 {
+		m[binary.LittleEndian.Uint64(b[i:])] = binary.LittleEndian.Uint64(b[i+8:])
+	}
+	return m, nil
+}
+
+func encodeSetRecord(b *asn1der.Builder, sr *csr.SetRecord) {
+	b.UTF8String(sr.Cfg.Name)
+	b.Uint64(uint64(sr.Cfg.SizeBytes))
+	b.Uint64(uint64(sr.Cfg.Assoc))
+	b.Uint64(uint64(sr.Cfg.LineBytes))
+	b.Uint64(uint64(sr.Cfg.HitLat))
+	payload := make([]byte, 17*len(sr.Entries))
+	for i, e := range sr.Entries {
+		binary.LittleEndian.PutUint64(payload[i*17:], e.Block)
+		binary.LittleEndian.PutUint64(payload[i*17+8:], e.Last)
+		if e.Dirty {
+			payload[i*17+16] = 1
+		}
+	}
+	b.OctetString(payload)
+}
+
+func decodeSetRecord(d *asn1der.Decoder) (*csr.SetRecord, error) {
+	sr := &csr.SetRecord{}
+	var err error
+	if sr.Cfg.Name, err = d.UTF8String(); err != nil {
+		return nil, err
+	}
+	vals := make([]uint64, 4)
+	for i := range vals {
+		if vals[i], err = d.Uint64(); err != nil {
+			return nil, err
+		}
+	}
+	sr.Cfg.SizeBytes = int64(vals[0])
+	sr.Cfg.Assoc = int(vals[1])
+	sr.Cfg.LineBytes = int64(vals[2])
+	sr.Cfg.HitLat = int(vals[3])
+	payload, err := d.OctetString()
+	if err != nil {
+		return nil, err
+	}
+	if len(payload)%17 != 0 {
+		return nil, fmt.Errorf("livepoint: set record payload %d not a multiple of 17", len(payload))
+	}
+	sr.Entries = make([]csr.Entry, len(payload)/17)
+	for i := range sr.Entries {
+		sr.Entries[i] = csr.Entry{
+			Block: binary.LittleEndian.Uint64(payload[i*17:]),
+			Last:  binary.LittleEndian.Uint64(payload[i*17+8:]),
+			Dirty: payload[i*17+16] == 1,
+		}
+	}
+	return sr, nil
+}
+
+func encodePredConfig(b *asn1der.Builder, cfg bpred.Config) {
+	b.UTF8String(cfg.Name)
+	b.Uint64(uint64(cfg.Kind))
+	b.Uint64(uint64(cfg.TableSize))
+	b.Uint64(uint64(cfg.HistBits))
+	b.Uint64(uint64(cfg.BTBSets))
+	b.Uint64(uint64(cfg.BTBAssoc))
+	b.Uint64(uint64(cfg.RASSize))
+}
+
+func decodePredConfig(d *asn1der.Decoder) (bpred.Config, error) {
+	var cfg bpred.Config
+	var err error
+	if cfg.Name, err = d.UTF8String(); err != nil {
+		return cfg, err
+	}
+	vals := make([]uint64, 6)
+	for i := range vals {
+		if vals[i], err = d.Uint64(); err != nil {
+			return cfg, err
+		}
+	}
+	cfg.Kind = bpred.Kind(vals[0])
+	cfg.TableSize = int(vals[1])
+	cfg.HistBits = int(vals[2])
+	cfg.BTBSets = int(vals[3])
+	cfg.BTBAssoc = int(vals[4])
+	cfg.RASSize = int(vals[5])
+	return cfg, nil
+}
+
+// interface check: SetRecord round-trips preserve the cache.Config needed
+// for reconstruction bounds.
+var _ = cache.Config{}

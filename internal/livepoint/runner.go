@@ -1,0 +1,295 @@
+package livepoint
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
+)
+
+// RunOpts configures a sampling experiment over a live-point library.
+type RunOpts struct {
+	Cfg uarch.Config
+
+	// Z and RelErr define the stopping rule: the run terminates as soon
+	// as the estimate reaches ±RelErr at confidence z (never before
+	// sampling.MinSampleSize points). RelErr <= 0 processes the whole
+	// library.
+	Z      float64
+	RelErr float64
+
+	// MaxPoints, when positive, bounds the number of points processed.
+	MaxPoints int
+
+	// Parallel is the number of simulation workers; values < 2 run
+	// serially (deterministic processing order).
+	Parallel int
+
+	// RecordHistory retains per-point snapshots for convergence plots.
+	RecordHistory bool
+}
+
+// RunResult is the outcome of a live-point sampling experiment.
+type RunResult struct {
+	Est       sampling.Estimate
+	History   []sampling.Snapshot
+	Processed int
+
+	LoadTime time.Duration // decompression + decode + reconstruction I/O
+	SimTime  time.Duration // detailed simulation
+
+	// Aggregated wrong-path approximation counters (§5).
+	UnknownFetches uint64
+	UnknownLoads   uint64
+	CaptureErrors  uint64 // correct-path unknown events: must be zero
+}
+
+// Satisfied reports whether the stopping rule was met (as opposed to
+// exhausting the library).
+func (r *RunResult) Satisfied(z, relErr float64) bool {
+	return relErr > 0 && r.Est.Satisfied(z, relErr)
+}
+
+func (r *RunResult) fold(wr warm.WindowResult, online *sampling.OnlineEstimator) bool {
+	r.Processed++
+	r.UnknownFetches += wr.Stats.UnknownFetches
+	r.UnknownLoads += wr.Stats.UnknownLoads
+	r.CaptureErrors += wr.Stats.CorrectPathUnknownLoads + wr.Stats.CorrectPathUnknownFetches
+	return online.Add(wr.UnitCPI)
+}
+
+// RunFile runs a sampling experiment over a library file. Points are
+// processed in file order; on a shuffled library this realizes the paper's
+// random-order online estimation (§6.1), so the run may stop at any point
+// with a statistically valid estimate.
+func RunFile(path string, opts RunOpts) (*RunResult, error) {
+	if opts.Z == 0 {
+		opts.Z = sampling.Z997
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RelErr > 0 && !r.Meta.Shuffled {
+		return nil, fmt.Errorf("livepoint: early stopping requires a shuffled library (run ShuffleFile first)")
+	}
+	if opts.Parallel > 1 {
+		return runParallel(r, opts)
+	}
+	return runSerial(r, opts)
+}
+
+func runSerial(r *Reader, opts RunOpts) (*RunResult, error) {
+	res := &RunResult{}
+	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
+	for {
+		if opts.MaxPoints > 0 && res.Processed >= opts.MaxPoints {
+			break
+		}
+		t0 := time.Now()
+		lp, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.LoadTime += time.Since(t0)
+
+		t0 = time.Now()
+		wr, err := Simulate(lp, opts.Cfg)
+		if err != nil {
+			return nil, fmt.Errorf("livepoint: point %d: %w", lp.Index, err)
+		}
+		res.SimTime += time.Since(t0)
+
+		if res.fold(wr, online) && opts.RelErr > 0 {
+			break
+		}
+	}
+	res.Est = *online.Estimate()
+	res.History = online.History()
+	return res, nil
+}
+
+// runParallel fans simulation out over worker goroutines — the paper's
+// parallel live-point processing (§6). The estimate folds results in
+// completion order, which is still an unbiased sample of a shuffled
+// library; unlike serial runs the exact stopping point is scheduling-
+// dependent.
+func runParallel(r *Reader, opts RunOpts) (*RunResult, error) {
+	res := &RunResult{}
+	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
+
+	type simOut struct {
+		wr  warm.WindowResult
+		err error
+	}
+	blobs := make(chan []byte, opts.Parallel)
+	outs := make(chan simOut, opts.Parallel)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for blob := range blobs {
+				lp, err := Decode(blob)
+				if err != nil {
+					outs <- simOut{err: err}
+					continue
+				}
+				wr, err := Simulate(lp, opts.Cfg)
+				outs <- simOut{wr: wr, err: err}
+			}
+		}()
+	}
+	done := make(chan struct{})
+	var feedErr error
+	go func() {
+		defer close(blobs)
+		sent := 0
+		for {
+			if opts.MaxPoints > 0 && sent >= opts.MaxPoints {
+				return
+			}
+			blob, err := r.NextBlob()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				feedErr = err
+				return
+			}
+			select {
+			case blobs <- blob:
+				sent++
+			case <-done:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outs)
+	}()
+
+	t0 := time.Now()
+	var firstErr error
+	stopped := false
+	for out := range outs {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		if res.fold(out.wr, online) && opts.RelErr > 0 && !stopped {
+			stopped = true
+			close(done)
+		}
+	}
+	if !stopped {
+		close(done)
+	}
+	res.SimTime = time.Since(t0)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if feedErr != nil {
+		return nil, feedErr
+	}
+	res.Est = *online.Estimate()
+	res.History = online.History()
+	return res, nil
+}
+
+// MatchedOpts configures a matched-pair comparative experiment (§6.2).
+type MatchedOpts struct {
+	Base uarch.Config
+	Exp  uarch.Config
+
+	Z      float64
+	RelErr float64 // target half-width on the delta, relative to baseline
+
+	// NoImpactThreshold, when positive, additionally stops once the delta
+	// is confidently within ±threshold of zero (the rapid design-space
+	// screen).
+	NoImpactThreshold float64
+
+	MaxPoints int
+}
+
+// MatchedResult is the outcome of a matched-pair experiment.
+type MatchedResult struct {
+	MP        sampling.MatchedPair
+	Processed int
+	SimTime   time.Duration
+	// StoppedNoImpact records that the no-impact screen fired.
+	StoppedNoImpact bool
+}
+
+// RunMatchedFile measures the same live-points under two configurations and
+// builds a confidence interval directly on the per-unit CPI delta. Both
+// configurations must be reconstructible from the library's stored bounds.
+func RunMatchedFile(path string, opts MatchedOpts) (*MatchedResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	if opts.RelErr > 0 && !r.Meta.Shuffled {
+		return nil, fmt.Errorf("livepoint: early stopping requires a shuffled library")
+	}
+
+	res := &MatchedResult{}
+	t0 := time.Now()
+	for {
+		if opts.MaxPoints > 0 && res.Processed >= opts.MaxPoints {
+			break
+		}
+		lp, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		base, err := Simulate(lp, opts.Base)
+		if err != nil {
+			return nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
+		}
+		exp, err := Simulate(lp, opts.Exp)
+		if err != nil {
+			return nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
+		}
+		res.MP.Add(base.UnitCPI, exp.UnitCPI)
+		res.Processed++
+
+		// The no-impact screen is checked first: a delta confidently
+		// within ±threshold is the §6.2 fast exit, even when the interval
+		// is also narrow enough to satisfy the precision target.
+		if opts.NoImpactThreshold > 0 && res.MP.NoImpact(opts.Z, opts.NoImpactThreshold) {
+			res.StoppedNoImpact = true
+			break
+		}
+		if opts.RelErr > 0 && res.MP.DeltaSatisfied(opts.Z, opts.RelErr) {
+			break
+		}
+	}
+	res.SimTime = time.Since(t0)
+	return res, nil
+}

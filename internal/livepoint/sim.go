@@ -1,0 +1,98 @@
+package livepoint
+
+import (
+	"fmt"
+
+	"livepoints/internal/bpred"
+	"livepoints/internal/cache"
+	"livepoints/internal/functional"
+	"livepoints/internal/mem"
+	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
+)
+
+// Reconstruct builds warmed simulation structures for the target
+// configuration from the live-point's checkpointed state. Cache and TLB
+// geometries must be reconstructible from the stored maxima (§4.3); the
+// branch-predictor configuration must be one of the stored snapshots.
+func (lp *LivePoint) Reconstruct(cfg uarch.Config) (*cache.Hier, *bpred.Predictor, error) {
+	if len(lp.Caches) == 0 {
+		// Architectural-only (AW-MRRL) checkpoints carry no
+		// microarchitectural state: cold start, warmed functionally after
+		// load for lp.FuncWarm instructions.
+		return cache.NewHier(cfg.Hier), bpred.New(cfg.BP), nil
+	}
+	hier := cache.NewHier(cfg.Hier)
+	assign := []struct {
+		dst    **cache.Cache
+		target cache.Config
+	}{
+		{&hier.L1I, cfg.Hier.L1I},
+		{&hier.L1D, cfg.Hier.L1D},
+		{&hier.L2, cfg.Hier.L2},
+		{&hier.ITLB, cfg.Hier.ITLB},
+		{&hier.DTLB, cfg.Hier.DTLB},
+	}
+	for i, a := range assign {
+		sr, err := lp.FindCache(a.target.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		c, err := sr.Reconstruct(a.target)
+		if err != nil {
+			return nil, nil, fmt.Errorf("livepoint: %s: %w", a.target.Name, err)
+		}
+		if lp.Restricted {
+			// Restricted live-state dropped everything the correct path
+			// does not touch; the paper leaves that state "uninitialized
+			// (effectively random)". Materialize it as garbage lines so
+			// ways stay occupied but never hit.
+			c.FillInvalid(uint64(lp.Position)*31 + uint64(i) + 1)
+		}
+		*a.dst = c
+	}
+
+	ps, err := lp.FindPred(cfg.BP.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ps.Cfg != cfg.BP {
+		return nil, nil, fmt.Errorf("livepoint: stored predictor %q has different parameters than requested", cfg.BP.Name)
+	}
+	bp := bpred.New(cfg.BP)
+	if err := bp.Restore(ps.Data); err != nil {
+		return nil, nil, err
+	}
+	return hier, bp, nil
+}
+
+// Simulate runs the live-point's detailed window under the given
+// configuration and returns the measurement-interval CPI with the core's
+// statistics (including the wrong-path unknown-state counters of §5).
+//
+// For AW-MRRL checkpoints (FuncWarm > 0) the prescribed functional warming
+// runs first against the stored live-state, then the detailed window.
+func Simulate(lp *LivePoint, cfg uarch.Config) (warm.WindowResult, error) {
+	text := lp.TextSource()
+	img := mem.NewImage(lp.Mem)
+	overlay := mem.NewOverlay(img)
+
+	hier, bp, err := lp.Reconstruct(cfg)
+	if err != nil {
+		return warm.WindowResult{}, err
+	}
+
+	arch := functional.State{PC: lp.Arch.PC, Regs: lp.Arch.Regs}
+	if lp.FuncWarm > 0 {
+		cpu := functional.New(text, overlay)
+		cpu.State = arch
+		cpu.Warm = &warm.Warmer{H: hier, BP: bp}
+		if n, err := cpu.Run(lp.FuncWarm); err != nil || n != lp.FuncWarm {
+			return warm.WindowResult{}, fmt.Errorf("livepoint: functional warming from checkpoint failed: %v", err)
+		}
+		arch = cpu.State
+	}
+
+	core := uarch.NewCore(cfg, text, overlay, arch, hier, bp)
+	return warm.RunWindow(core, lp.WarmLen, lp.UnitLen)
+}

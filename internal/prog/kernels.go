@@ -1,0 +1,458 @@
+package prog
+
+import (
+	"math"
+
+	"livepoints/internal/isa"
+)
+
+// Kernel emitters. Every emitter produces a callable subroutine:
+//
+//   - entry self-initializes its persistent registers on the first call
+//     (all registers are architecturally zero at program start, so a
+//     dedicated init-guard register distinguishes the first call);
+//   - an inner loop sized so one call executes approximately `work`
+//     dynamic instructions;
+//   - kernels return through isa.RegLink.
+//
+// Persistent kernel state (walk positions, accumulators, LCG state) lives in
+// registers allocated per kernel instance, so behaviour evolves across the
+// whole benchmark run rather than repeating identically each call — this is
+// what produces realistic long-range reuse distances and per-unit CPI
+// variance.
+
+var kernelEmitters map[KernelKind]func(g *gen, work int64, ks KernelSpec) int64
+
+func init() {
+	kernelEmitters = map[KernelKind]func(g *gen, work int64, ks KernelSpec) int64{
+		KStream:  emitStream,
+		KChase:   emitChase,
+		KBranchy: emitBranchy,
+		KCompute: emitCompute,
+		KCalls:   emitCalls,
+		KFPMix:   emitFPMix,
+		KStride:  emitStride,
+		KScatter: emitScatter,
+	}
+}
+
+// lcgMul and lcgAdd are the constants of the in-register linear
+// congruential generator used by data-dependent kernels.
+const (
+	lcgMul = 6364136223846793005
+	lcgAdd = 1442695040888963407
+)
+
+// emitGuard emits the standard first-call initialization guard. It returns
+// after running init code emitted by fn only on the first call.
+func emitGuard(g *gen, rInit uint8, fn func()) {
+	a := g.a
+	b := a.branch(isa.OpBne, rInit, isa.RegZero)
+	fn()
+	a.lui(rInit, 1)
+	a.patchHere(b)
+}
+
+// f64bits returns the IEEE-754 bit pattern for v, used to pre-fill FP data.
+func f64bits(v float64) uint64 { return math.Float64bits(v) }
+
+// pow2Floor returns the largest power of two <= v (minimum 8).
+func pow2Floor(v int64) int64 {
+	p := int64(8)
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// emitStream: sequential read-read-write streaming over a large array with
+// FP accumulation — the swim/mgrid shape: near-perfect branches, high
+// spatial locality, miss rate set by footprint vs cache size.
+func emitStream(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(8)
+	rInit, rPtr, rEnd, rCnt, rA, rB, rC, rT := r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]
+
+	size := pow2Floor(ks.Footprint)
+	base := g.allocData(size, func(i int) uint64 { return f64bits(float64(i%1000) * 0.5) })
+
+	const bodyLen = 9
+	iters := work / bodyLen
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rPtr, int64(base))
+		a.lui(rEnd, int64(base)+size-64)
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	a.load(rA, rPtr, 0)
+	a.op3(isa.OpFAdd, rB, rB, rA)
+	a.load(rC, rPtr, 8)
+	a.op3(isa.OpFMul, rB, rB, rC)
+	a.store(rB, rPtr, 16)
+	a.opi(isa.OpAddI, rPtr, rPtr, 32)
+	// Wrap: if rPtr >= rEnd reset to base. slt is taken rarely, so the
+	// stream branch stays predictable.
+	a.op3(isa.OpSlt, rT, rPtr, rEnd)
+	wrapped := a.branch(isa.OpBne, rT, isa.RegZero)
+	a.lui(rPtr, int64(base))
+	a.patchHere(wrapped)
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitChase: dependent pointer chasing through a random cyclic permutation
+// of absolute node addresses — the mcf shape: one outstanding miss at a
+// time, very high CPI, high per-unit variance.
+func emitChase(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(5)
+	rInit, rCur, rCnt, rSum, rT := r[0], r[1], r[2], r[3], r[4]
+
+	nodes := pow2Floor(ks.Footprint) / 8
+	// Build a single random cycle with Sattolo's algorithm so the chase
+	// visits every node before repeating.
+	perm := make([]int64, nodes)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := g.rng.Int63n(i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	base := g.allocData(nodes*8, func(i int) uint64 { return 0 })
+	// next[perm[i]] = perm[(i+1) % nodes], stored as absolute addresses.
+	for i := int64(0); i < nodes; i++ {
+		from := perm[i]
+		to := perm[(i+1)%nodes]
+		g.data[len(g.data)-1].Words[from] = base + uint64(to)*8
+	}
+
+	const bodyLen = 5
+	iters := work / bodyLen
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rCur, int64(base)+int64(perm[0])*8)
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	a.load(rCur, rCur, 0)
+	a.op3(isa.OpAdd, rSum, rSum, rCur)
+	a.opi(isa.OpShrI, rT, rSum, 7)
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitBranchy: LCG-driven data-dependent branches with hammocks plus a small
+// table lookup — the gcc/parser shape. ks.Pred sets the probability of the
+// common direction; the body is replicated (unrolled) so the static
+// footprint exercises the I-cache and many distinct branch-history slots.
+func emitBranchy(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(8)
+	rInit, rX, rS, rCnt, rT, rT2, rBase, rV := r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]
+
+	tblSize := int64(64 * 1024) // 64 KB table: fits L2, stresses L1D
+	if ks.Footprint > 0 {
+		tblSize = pow2Floor(ks.Footprint)
+	}
+	base := g.allocData(tblSize, func(i int) uint64 { return uint64(i) * 2654435761 })
+	mask := tblSize/8 - 1
+
+	pred := ks.Pred
+	if pred <= 0 || pred > 1 {
+		pred = 0.85
+	}
+	thresh := int64(pred * 1024)
+
+	const unroll = 12
+	const bodyLen = 13
+	iters := work / (unroll * bodyLen)
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rBase, int64(base))
+		a.lui(rX, g.rng.Int63())
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	for u := 0; u < unroll; u++ {
+		a.lui(rT, lcgMul)
+		a.op3(isa.OpMul, rX, rX, rT)
+		a.opi(isa.OpAddI, rX, rX, lcgAdd&0x7fffffff)
+		a.opi(isa.OpShrI, rT, rX, 48)
+		a.opi(isa.OpAndI, rT, rT, 1023)
+		a.opi(isa.OpSltI, rT2, rT, thresh)
+		taken := a.branch(isa.OpBne, rT2, isa.RegZero)
+		// Uncommon path.
+		a.op3(isa.OpXor, rS, rS, rX)
+		join := a.jmp()
+		a.patchHere(taken)
+		// Common path: table lookup.
+		a.opi(isa.OpAndI, rT, rT, mask)
+		a.opi(isa.OpShlI, rT, rT, 3)
+		a.op3(isa.OpAdd, rT, rT, rBase)
+		a.load(rV, rT, 0)
+		a.op3(isa.OpAdd, rS, rS, rV)
+		a.patchHere(join)
+	}
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitCompute: four independent integer dependence chains with an
+// occasional multiply — the gzip/crafty shape: high ILP, rare misses,
+// CPI near the issue-width bound.
+func emitCompute(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(7)
+	rInit, rA, rB, rC, rD, rCnt, rT := r[0], r[1], r[2], r[3], r[4], r[5], r[6]
+	_ = rInit
+
+	const unroll = 4
+	const bodyLen = 10
+	iters := work / (unroll * bodyLen)
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rA, 1)
+		a.lui(rB, 3)
+		a.lui(rC, 5)
+		a.lui(rD, 7)
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	for u := 0; u < unroll; u++ {
+		a.opi(isa.OpAddI, rA, rA, 13)
+		a.opi(isa.OpAddI, rB, rB, 17)
+		a.op3(isa.OpXor, rC, rC, rA)
+		a.op3(isa.OpAdd, rD, rD, rB)
+		a.opi(isa.OpShlI, rT, rA, 2)
+		a.op3(isa.OpOr, rC, rC, rT)
+		a.op3(isa.OpSub, rD, rD, rA)
+		a.op3(isa.OpMul, rB, rB, rC)
+		a.opi(isa.OpShrI, rT, rD, 3)
+		a.op3(isa.OpAnd, rA, rA, rT)
+	}
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitCalls: a two-deep call tree with data-dependent callee selection —
+// the perlbmk/eon shape: return-address-stack and BTB pressure, moderate
+// branchiness, small working set.
+func emitCalls(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(8)
+	rInit, rX, rS, rCnt, rT, rT2, rL2, rL3 := r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]
+
+	// Leaf functions (depth 3): small distinct ALU bodies.
+	var leaves []int64
+	for i := 0; i < 4; i++ {
+		entry := a.pc()
+		a.opi(isa.OpAddI, rS, rS, int64(i)+1)
+		a.op3(isa.OpXor, rS, rS, rX)
+		a.opi(isa.OpShrI, rT, rS, int64(i%5+1))
+		a.op3(isa.OpAdd, rS, rS, rT)
+		a.ret(rL3)
+		leaves = append(leaves, entry)
+	}
+
+	// Mid functions (depth 2): LCG step then call one of two leaves.
+	var mids []int64
+	for i := 0; i < 2; i++ {
+		entry := a.pc()
+		a.lui(rT, lcgMul)
+		a.op3(isa.OpMul, rX, rX, rT)
+		a.opi(isa.OpAddI, rX, rX, lcgAdd&0x7fffffff)
+		a.opi(isa.OpShrI, rT, rX, 41)
+		a.opi(isa.OpAndI, rT, rT, 1)
+		sel := a.branch(isa.OpBne, rT, isa.RegZero)
+		c0 := a.call(rL3)
+		a.patch(c0, leaves[i*2])
+		j := a.jmp()
+		a.patchHere(sel)
+		c1 := a.call(rL3)
+		a.patch(c1, leaves[i*2+1])
+		a.patchHere(j)
+		a.ret(rL2)
+		mids = append(mids, entry)
+	}
+
+	// ~26 dynamic instructions per round of two mid calls.
+	const roundLen = 26
+	iters := work / roundLen
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rX, g.rng.Int63())
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	c := a.call(rL2)
+	a.patch(c, mids[0])
+	c = a.call(rL2)
+	a.patch(c, mids[1])
+	a.opi(isa.OpAddI, rT2, rCnt, 0)
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitFPMix: serial FP dependence chains with divides — the art/ammp shape:
+// long-latency units dominate, low ILP, moderate memory traffic.
+func emitFPMix(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(8)
+	rInit, rBase, rOff, rCnt, rA, rB, rC, rT := r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]
+
+	size := pow2Floor(maxI64(ks.Footprint, 256*1024))
+	base := g.allocData(size, func(i int) uint64 { return f64bits(1.0 + float64(i%97)/97.0) })
+	mask := size - 1
+
+	const bodyLen = 12
+	iters := work / bodyLen
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rBase, int64(base))
+		a.lui(rA, int64(f64bits(1.5)))
+		a.lui(rB, int64(f64bits(2.5)))
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	a.op3(isa.OpAdd, rT, rBase, rOff)
+	a.load(rC, rT, 0)
+	a.op3(isa.OpFMul, rA, rA, rC)
+	a.op3(isa.OpFAdd, rB, rB, rA)
+	a.op3(isa.OpFDiv, rA, rB, rC)
+	a.op3(isa.OpFAdd, rA, rA, rB)
+	a.store(rA, rT, 8)
+	a.opi(isa.OpAddI, rOff, rOff, 48)
+	a.opi(isa.OpAndI, rOff, rOff, mask&^7)
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitStride: page-stride walking over a large region — the equake shape:
+// every access lands on a new page, so the D-TLB misses dominate once the
+// footprint exceeds TLB reach.
+func emitStride(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(7)
+	rInit, rOff, rCnt, rBase, rT, rV, rS := r[0], r[1], r[2], r[3], r[4], r[5], r[6]
+
+	size := pow2Floor(ks.Footprint)
+	base := g.allocData(size, func(i int) uint64 { return uint64(i) })
+	mask := size - 1
+	const stride = 4096 + 64 // cross a page per access, avoid set conflicts
+
+	const bodyLen = 8
+	iters := work / bodyLen
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rBase, int64(base))
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	a.opi(isa.OpAddI, rOff, rOff, stride)
+	a.opi(isa.OpAndI, rOff, rOff, mask&^7)
+	a.op3(isa.OpAdd, rT, rBase, rOff)
+	a.load(rV, rT, 0)
+	a.op3(isa.OpAdd, rS, rS, rV)
+	a.store(rS, rT, 8)
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+// emitScatter: LCG-random scatter stores and gathers — the vpr/twolf shape:
+// write misses, dirty evictions, low locality within a bounded region.
+func emitScatter(g *gen, work int64, ks KernelSpec) int64 {
+	a := g.a
+	r := g.allocRegs(8)
+	rInit, rX, rCnt, rBase, rT, rA, rV, rS := r[0], r[1], r[2], r[3], r[4], r[5], r[6], r[7]
+
+	size := pow2Floor(ks.Footprint)
+	base := g.allocData(size, func(i int) uint64 { return uint64(i) * 11400714819323198485 })
+	maskWords := size/8 - 1
+
+	const bodyLen = 12
+	iters := work / bodyLen
+	if iters < 1 {
+		iters = 1
+	}
+
+	entry := a.pc()
+	emitGuard(g, rInit, func() {
+		a.lui(rBase, int64(base))
+		a.lui(rX, g.rng.Int63())
+	})
+	a.lui(rCnt, iters)
+	loop := a.pc()
+	a.lui(rT, lcgMul)
+	a.op3(isa.OpMul, rX, rX, rT)
+	a.opi(isa.OpAddI, rX, rX, lcgAdd&0x7fffffff)
+	a.opi(isa.OpShrI, rT, rX, 30)
+	a.opi(isa.OpAndI, rT, rT, maskWords)
+	a.opi(isa.OpShlI, rT, rT, 3)
+	a.op3(isa.OpAdd, rA, rBase, rT)
+	a.load(rV, rA, 0)
+	a.op3(isa.OpAdd, rS, rS, rV)
+	a.store(rS, rA, 0)
+	a.opi(isa.OpAddI, rCnt, rCnt, -1)
+	b := a.branch(isa.OpBne, rCnt, isa.RegZero)
+	a.patch(b, loop)
+	a.ret(isa.RegLink)
+	return entry
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

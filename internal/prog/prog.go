@@ -1,0 +1,312 @@
+// Package prog generates the deterministic synthetic benchmark suite that
+// stands in for SPEC CPU2000 (see DESIGN.md §2 for the substitution
+// rationale).
+//
+// Each benchmark is a self-contained Program: a text segment of pre-decoded
+// instructions plus an initialized data segment. Programs are produced by a
+// seeded generator, so a given (name, scale) pair always yields the
+// bit-identical program — a property every warming experiment in the paper
+// relies on ("functional warming repeats architectural state updates across
+// different simulations of the same benchmark", §4).
+//
+// The suite spans the behavioural axes that drive simulation-sampling
+// results: memory footprint and locality (cache and TLB miss rates), branch
+// predictability, functional-unit mix, instruction-level parallelism, and
+// phase behaviour (which drives per-unit CPI variance and therefore sample
+// size).
+package prog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"livepoints/internal/isa"
+	"livepoints/internal/mem"
+)
+
+// DataRange is a contiguous run of initialized 64-bit words in the data
+// segment.
+type DataRange struct {
+	Base  uint64   // byte address of the first word
+	Words []uint64 // initial values
+}
+
+// Program is a generated benchmark: immutable text plus initial data.
+type Program struct {
+	Name string
+	Text []isa.Inst
+	Data []DataRange
+
+	// TargetLen is the approximate dynamic instruction count the generator
+	// aimed for. The exact count is determined by execution and measured by
+	// the sampling pre-pass.
+	TargetLen uint64
+}
+
+// NewMemory returns a fresh memory initialized with the program's data
+// segment. Each call returns an independent memory.
+func (p *Program) NewMemory() *mem.Memory {
+	m := mem.New()
+	for _, r := range p.Data {
+		for i, v := range r.Words {
+			m.WriteWord(r.Base+uint64(i)*8, v)
+		}
+	}
+	return m
+}
+
+// Fetch returns the instruction at the given instruction index. ok is false
+// past the end of text.
+func (p *Program) Fetch(pc uint64) (isa.Inst, bool) {
+	if pc >= uint64(len(p.Text)) {
+		return isa.Inst{}, false
+	}
+	return p.Text[pc], true
+}
+
+// TextLen returns the static instruction count.
+func (p *Program) TextLen() int { return len(p.Text) }
+
+// DataWords returns the number of initialized data words.
+func (p *Program) DataWords() int {
+	n := 0
+	for _, r := range p.Data {
+		n += len(r.Words)
+	}
+	return n
+}
+
+// FootprintBytes returns the initialized data footprint in bytes.
+func (p *Program) FootprintBytes() int64 { return int64(p.DataWords()) * 8 }
+
+// asm is a tiny single-pass assembler with back-patching, used by the
+// kernel emitters.
+type asm struct {
+	text []isa.Inst
+}
+
+func (a *asm) pc() int64 { return int64(len(a.text)) }
+
+func (a *asm) emit(in isa.Inst) int {
+	a.text = append(a.text, in)
+	return len(a.text) - 1
+}
+
+func (a *asm) op3(op isa.Op, rd, rs1, rs2 uint8) int {
+	return a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+func (a *asm) opi(op isa.Op, rd, rs1 uint8, imm int64) int {
+	return a.emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+func (a *asm) lui(rd uint8, imm int64) int {
+	return a.emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: imm})
+}
+
+func (a *asm) load(rd, rbase uint8, disp int64) int {
+	return a.emit(isa.Inst{Op: isa.OpLoad, Rd: rd, Rs1: rbase, Imm: disp})
+}
+
+func (a *asm) store(rval, rbase uint8, disp int64) int {
+	return a.emit(isa.Inst{Op: isa.OpStore, Rs1: rbase, Rs2: rval, Imm: disp})
+}
+
+// branch emits a conditional branch with a placeholder target, returning the
+// instruction index for later patching.
+func (a *asm) branch(op isa.Op, rs1, rs2 uint8) int {
+	return a.emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: -1})
+}
+
+func (a *asm) jmp() int  { return a.emit(isa.Inst{Op: isa.OpJmp, Imm: -1}) }
+func (a *asm) halt() int { return a.emit(isa.Inst{Op: isa.OpHalt}) }
+
+func (a *asm) call(link uint8) int {
+	return a.emit(isa.Inst{Op: isa.OpCall, Rd: link, Imm: -1})
+}
+
+func (a *asm) ret(link uint8) int {
+	return a.emit(isa.Inst{Op: isa.OpRet, Rs1: link})
+}
+
+// patch sets the branch/jump/call target of the instruction at idx.
+func (a *asm) patch(idx int, target int64) {
+	a.text[idx].Imm = target
+}
+
+// patchHere points the instruction at idx at the current pc.
+func (a *asm) patchHere(idx int) { a.patch(idx, a.pc()) }
+
+// gen carries generator state shared by the kernel emitters.
+type gen struct {
+	a       *asm
+	rng     *rand.Rand
+	data    []DataRange
+	nextReg uint8  // next free scratch register
+	dataTop uint64 // next free data segment byte address
+}
+
+func newGen(seed int64) *gen {
+	return &gen{
+		a:       &asm{},
+		rng:     rand.New(rand.NewSource(seed)),
+		nextReg: 2, // r0 = zero, r1 = outer loop counter
+		dataTop: isa.DataBase,
+	}
+}
+
+// allocRegs reserves n scratch registers for a kernel instance.
+func (g *gen) allocRegs(n int) []uint8 {
+	if int(g.nextReg)+n > isa.NumRegs-4 {
+		panic(fmt.Sprintf("prog: out of registers (want %d, next %d)", n, g.nextReg))
+	}
+	regs := make([]uint8, n)
+	for i := range regs {
+		regs[i] = g.nextReg
+		g.nextReg++
+	}
+	return regs
+}
+
+// allocData reserves a data region of the given byte size (rounded up to a
+// page) initialized by fill, and returns its base address.
+func (g *gen) allocData(size int64, fill func(i int) uint64) uint64 {
+	base := g.dataTop
+	words := int((size + 7) / 8)
+	vals := make([]uint64, words)
+	for i := range vals {
+		vals[i] = fill(i)
+	}
+	g.data = append(g.data, DataRange{Base: base, Words: vals})
+	// Round the next base up to a page boundary and leave a guard page so
+	// kernels with small overruns never alias each other.
+	g.dataTop = base + uint64((size+mem.PageBytes)/mem.PageBytes+1)*mem.PageBytes
+	return base
+}
+
+// BenchSpec describes one synthetic benchmark in the suite.
+type BenchSpec struct {
+	Name string
+	Seed int64
+	// Kernels are the kernel constructors used in each phase, with
+	// relative weights. Phases execute sequentially, splitting the total
+	// dynamic length evenly.
+	Phases []PhaseSpec
+	// BaseLen is the unscaled approximate dynamic instruction count.
+	BaseLen uint64
+}
+
+// PhaseSpec is one phase of a benchmark: a weighted set of kernels invoked
+// round-robin by the phase loop.
+type PhaseSpec struct {
+	Kernels []KernelSpec
+}
+
+// KernelSpec names a kernel family with its parameters.
+type KernelSpec struct {
+	Kind KernelKind
+	// Footprint is the data footprint in bytes for memory kernels.
+	Footprint int64
+	// Pred is branch predictability for branchy kernels, in [0,1]: the
+	// probability a data-dependent branch goes the common direction.
+	Pred float64
+	// Work is the approximate dynamic instructions per kernel invocation.
+	Work int64
+}
+
+// KernelKind enumerates the kernel families.
+type KernelKind uint8
+
+// Kernel families; see kernels.go for the code shapes.
+const (
+	KStream  KernelKind = iota // sequential FP streaming (swim/mgrid-like)
+	KChase                     // dependent pointer chasing (mcf-like)
+	KBranchy                   // data-dependent control flow (gcc-like)
+	KCompute                   // integer ALU/ILP mix (gzip/crafty-like)
+	KCalls                     // call/return heavy (perlbmk/eon-like)
+	KFPMix                     // FP multiply/divide chains (art/ammp-like)
+	KStride                    // large-stride TLB-pressure walker (equake-like)
+	KScatter                   // random scatter/gather stores (vpr/twolf-like)
+)
+
+// kernelName is used for diagnostics.
+var kernelName = map[KernelKind]string{
+	KStream: "stream", KChase: "chase", KBranchy: "branchy", KCompute: "compute",
+	KCalls: "calls", KFPMix: "fpmix", KStride: "stride", KScatter: "scatter",
+}
+
+// String returns the kernel family name.
+func (k KernelKind) String() string {
+	if s, ok := kernelName[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kernel(%d)", uint8(k))
+}
+
+// Generate builds the program for the spec at the given scale. Scale
+// multiplies the benchmark's dynamic length; 1.0 is the suite default.
+// Generation is deterministic in (spec, scale).
+func Generate(spec BenchSpec, scale float64) *Program {
+	if scale <= 0 {
+		scale = 1.0
+	}
+	g := newGen(spec.Seed)
+	a := g.a
+
+	targetLen := uint64(float64(spec.BaseLen) * scale)
+
+	// Emit a jump over the kernel bodies to the main entry; patched later.
+	entryJmp := a.jmp()
+
+	// Emit each phase's kernels, recording entries.
+	type phaseCode struct {
+		entries  []int64
+		perIter  int64 // approximate dynamic instructions per round of calls
+		overhead int64
+	}
+	phases := make([]phaseCode, len(spec.Phases))
+	for pi, ph := range spec.Phases {
+		for _, ks := range ph.Kernels {
+			emit := kernelEmitters[ks.Kind]
+			entry := emit(g, ks.Work, ks)
+			phases[pi].entries = append(phases[pi].entries, entry)
+			phases[pi].perIter += ks.Work
+		}
+		// Per-iteration loop overhead: one call+ret pair per kernel plus
+		// the counter update and loop branch.
+		phases[pi].overhead = int64(len(ph.Kernels))*2 + 3
+	}
+
+	// Main entry.
+	a.patchHere(entryJmp)
+	const rIter = 1 // phase-loop counter register
+
+	perPhase := targetLen / uint64(len(phases))
+	for _, pc := range phases {
+		iters := int64(perPhase) / (pc.perIter + pc.overhead)
+		if iters < 1 {
+			iters = 1
+		}
+		a.lui(rIter, iters)
+		loopTop := a.pc()
+		for _, entry := range pc.entries {
+			c := a.call(isa.RegLink)
+			a.patch(c, entry)
+		}
+		a.opi(isa.OpAddI, rIter, rIter, -1)
+		b := a.branch(isa.OpBne, rIter, isa.RegZero)
+		a.patch(b, loopTop)
+	}
+	a.halt()
+
+	// Normalize data ranges by base address for reproducible encoding.
+	sort.Slice(g.data, func(i, j int) bool { return g.data[i].Base < g.data[j].Base })
+
+	return &Program{
+		Name:      spec.Name,
+		Text:      a.text,
+		Data:      g.data,
+		TargetLen: targetLen,
+	}
+}

@@ -1,0 +1,262 @@
+package sampling
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateMatchesClosedForm(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	var e Estimate
+	for _, x := range xs {
+		e.Add(x)
+	}
+	if e.N() != len(xs) {
+		t.Fatalf("n=%d", e.N())
+	}
+	if math.Abs(e.Mean()-5.0) > 1e-12 {
+		t.Fatalf("mean=%v", e.Mean())
+	}
+	// Unbiased sample variance of the classic dataset is 32/7.
+	if math.Abs(e.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var=%v", e.Var())
+	}
+}
+
+func TestEstimateQuickAgainstTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(500)
+		xs := make([]float64, n)
+		var e Estimate
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*3 + 10
+			e.Add(xs[i])
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(n)
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		v := m2 / float64(n-1)
+		return math.Abs(e.Mean()-mean) < 1e-9 && math.Abs(e.Var()-v) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRequiredN(t *testing.T) {
+	// Paper arithmetic: ±3% at z=3 with CV=1 needs (3*1/0.03)^2 = 10000.
+	if n := RequiredN(1.0, 3, 0.03); n != 10000 {
+		t.Fatalf("RequiredN(cv=1)=%d, want 10000", n)
+	}
+	// Tiny CV floors at the CLT minimum.
+	if n := RequiredN(0.001, 3, 0.03); n != MinSampleSize {
+		t.Fatalf("RequiredN(cv=0.001)=%d, want %d", n, MinSampleSize)
+	}
+}
+
+func TestRequiredNPanicsOnBadTarget(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RequiredN with zero target should panic")
+		}
+	}()
+	RequiredN(1, 3, 0)
+}
+
+func TestSatisfiedNeedsMinSample(t *testing.T) {
+	var e Estimate
+	for i := 0; i < MinSampleSize-1; i++ {
+		e.Add(1.0)
+	}
+	if e.Satisfied(Z997, 0.5) {
+		t.Fatal("satisfied below the CLT minimum")
+	}
+	e.Add(1.0)
+	if !e.Satisfied(Z997, 0.5) {
+		t.Fatal("identical observations should satisfy any target at n=30")
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var e Estimate
+	var prev float64 = math.Inf(1)
+	for step := 0; step < 4; step++ {
+		for i := 0; i < 1000; i++ {
+			e.Add(rng.NormFloat64() + 5)
+		}
+		ci := e.CIHalfWidth(Z997)
+		if ci >= prev {
+			t.Fatalf("CI did not shrink: %v -> %v", prev, ci)
+		}
+		prev = ci
+	}
+}
+
+func TestCICoverage(t *testing.T) {
+	// 99.7% intervals from normal samples should cover the true mean in
+	// the vast majority of trials.
+	rng := rand.New(rand.NewSource(7))
+	const trials = 300
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		var e Estimate
+		for i := 0; i < 200; i++ {
+			e.Add(rng.NormFloat64()*2 + 42)
+		}
+		if math.Abs(e.Mean()-42) <= e.CIHalfWidth(Z997) {
+			covered++
+		}
+	}
+	if covered < trials*95/100 {
+		t.Fatalf("99.7%% CI covered truth in only %d/%d trials", covered, trials)
+	}
+}
+
+func TestNewSystematicDesign(t *testing.T) {
+	d, err := NewSystematic(1_000_000, 1000, 2000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Units() == 0 {
+		t.Fatal("no units")
+	}
+	for j := 0; j < d.Units(); j++ {
+		if d.WindowStart(j) > d.Positions[j] {
+			t.Fatal("window start after measurement start")
+		}
+		if d.Positions[j]+d.UnitLen > 1_000_000 {
+			t.Fatal("unit past benchmark end")
+		}
+		if j > 0 && d.Positions[j] <= d.Positions[j-1] {
+			t.Fatal("positions not increasing")
+		}
+	}
+	// First window's warming must not precede instruction 0.
+	if d.WindowStart(0) > d.Positions[0] {
+		t.Fatal("underflow in first window")
+	}
+}
+
+func TestNewSystematicRejectsBadParams(t *testing.T) {
+	if _, err := NewSystematic(1000, 0, 0, 1, 0); err == nil {
+		t.Fatal("zero unit length accepted")
+	}
+	if _, err := NewSystematic(1000, 1000, 0, 0, 0); err == nil {
+		t.Fatal("zero stride accepted")
+	}
+	if _, err := NewSystematic(500, 1000, 0, 1, 0); err == nil {
+		t.Fatal("benchmark shorter than a unit accepted")
+	}
+}
+
+func TestShuffledOrderIsPermutationAndDeterministic(t *testing.T) {
+	d, err := NewSystematic(10_000_000, 1000, 2000, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := d.ShuffledOrder(99)
+	o2 := d.ShuffledOrder(99)
+	o3 := d.ShuffledOrder(100)
+	seen := make([]bool, d.Units())
+	same12, same13 := true, true
+	for i := range o1 {
+		if seen[o1[i]] {
+			t.Fatal("duplicate index in shuffle")
+		}
+		seen[o1[i]] = true
+		same12 = same12 && o1[i] == o2[i]
+		same13 = same13 && o1[i] == o3[i]
+	}
+	if !same12 {
+		t.Fatal("same seed produced different orders")
+	}
+	if same13 {
+		t.Fatal("different seeds produced identical orders")
+	}
+}
+
+func TestSubSample(t *testing.T) {
+	d, _ := NewSystematic(10_000_000, 1000, 2000, 10, 1)
+	s := d.SubSample(1, 50)
+	if len(s) != 50 {
+		t.Fatalf("sub-sample has %d elements", len(s))
+	}
+	s = d.SubSample(1, 1<<20)
+	if len(s) != d.Units() {
+		t.Fatal("oversized sub-sample not clamped")
+	}
+}
+
+func TestOnlineEstimatorStopsAtTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	o := NewOnline(Z997, 0.05, true)
+	n := 0
+	for !o.Add(rng.NormFloat64()*0.1 + 1.0) {
+		n++
+		if n > 100_000 {
+			t.Fatal("never satisfied")
+		}
+	}
+	if o.Estimate().N() < MinSampleSize {
+		t.Fatal("stopped before CLT minimum")
+	}
+	if got := len(o.History()); got != o.Estimate().N() {
+		t.Fatalf("history %d entries, want %d", got, o.Estimate().N())
+	}
+}
+
+func TestMatchedPairReduction(t *testing.T) {
+	// Correlated pairs: delta variance far below absolute variance.
+	rng := rand.New(rand.NewSource(11))
+	var mp MatchedPair
+	for i := 0; i < 2000; i++ {
+		base := 1.0 + rng.NormFloat64()*0.5 // high absolute variance
+		mp.Add(base, base*1.05)             // uniform +5% effect
+	}
+	if r := mp.SampleSizeReduction(); r < 10 {
+		t.Fatalf("expected large reduction for uniform effect, got %.1fx", r)
+	}
+	if d := mp.RelDelta(); math.Abs(d-0.05) > 0.01 {
+		t.Fatalf("RelDelta %.4f, want ~0.05", d)
+	}
+}
+
+func TestMatchedPairNoImpact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	var mp MatchedPair
+	for i := 0; i < 100; i++ {
+		base := 1.0 + rng.NormFloat64()*0.3
+		mp.Add(base, base+rng.NormFloat64()*0.001) // negligible change
+	}
+	if !mp.NoImpact(Z997, 0.03) {
+		t.Fatal("negligible change not screened as no-impact")
+	}
+	var mp2 MatchedPair
+	for i := 0; i < 100; i++ {
+		base := 1.0 + rng.NormFloat64()*0.3
+		mp2.Add(base, base*1.5) // huge change
+	}
+	if mp2.NoImpact(Z997, 0.03) {
+		t.Fatal("50% change screened as no-impact")
+	}
+}
+
+func TestMatchedPairDeltaSatisfied(t *testing.T) {
+	var mp MatchedPair
+	for i := 0; i < MinSampleSize; i++ {
+		mp.Add(1.0, 1.1)
+	}
+	if !mp.DeltaSatisfied(Z997, 0.01) {
+		t.Fatal("constant delta should satisfy immediately at n=30")
+	}
+}

@@ -1,0 +1,649 @@
+package uarch
+
+import (
+	"fmt"
+
+	"livepoints/internal/bpred"
+	"livepoints/internal/cache"
+	"livepoints/internal/functional"
+	"livepoints/internal/isa"
+	"livepoints/internal/mem"
+)
+
+// Stats accumulates detailed-simulation event counts.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	Dispatched    uint64
+	WrongPathDisp uint64
+	Recoveries    uint64 // correct-path branch mispredictions
+
+	// Live-state approximation events (§5 of the paper): wrong-path
+	// fetches from unavailable text and wrong-path loads of unavailable
+	// memory words. CorrectPathUnknownLoads must be zero for full
+	// live-state; non-zero values indicate capture bugs or, for
+	// restricted live-state experiments, the expected approximation.
+	UnknownFetches            uint64
+	UnknownLoads              uint64
+	CorrectPathUnknownLoads   uint64
+	CorrectPathUnknownFetches uint64
+}
+
+// CPI returns cycles per committed instruction.
+func (s Stats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// entry is one RUU (unified ROB/reservation-station) slot.
+type entry struct {
+	seq   uint64
+	valid bool
+
+	pc           uint64
+	inst         isa.Inst
+	wrongPath    bool
+	unknownFetch bool
+
+	dep  [3]uint64
+	nDep int
+
+	issued    bool
+	completed bool
+	doneAt    uint64
+
+	isLoad   bool
+	isStore  bool
+	memAddr  uint64
+	fwdStore bool
+
+	isBranch  bool
+	predNext  uint64 // predicted next pc (sentinel badPC when unknown)
+	actTaken  bool
+	actNext   uint64
+	doRecover bool
+	bpSave    bpred.SpecLite
+
+	writesReg bool
+	rdVal     uint64
+	memVal    uint64
+}
+
+// badPC is the sentinel "unknown predicted target".
+const badPC = ^uint64(0)
+
+// fetchRec is one fetched instruction waiting in the fetch queue.
+type fetchRec struct {
+	pc        uint64
+	inst      isa.Inst
+	unknown   bool
+	isBranch  bool
+	predNext  uint64
+	bpSave    bpred.SpecLite
+	fetchedAt uint64
+}
+
+// Core is one instantiated detailed out-of-order processor.
+//
+// The core maintains two architectural contexts. The dispatch context
+// executes instructions speculatively, in fetched order (including wrong
+// paths), against a copy-on-write memory overlay. The commit context
+// re-executes instructions in program order at retirement against the real
+// window memory; it is the authoritative architectural state, and must
+// match pure functional simulation instruction-for-instruction (the
+// handoff invariant tested in internal/warm).
+type Core struct {
+	cfg  Config
+	text functional.TextSource
+	hier *cache.Hier
+	bp   *bpred.Predictor
+
+	commit    functional.State
+	commitMem functional.MemRW
+
+	disp    functional.State
+	dispMem *mem.Overlay
+
+	ruu       []entry
+	headSeq   uint64
+	tailSeq   uint64
+	lsqCount  int
+	createVec [isa.NumRegs]int64
+
+	fetchPC       uint64
+	fetchReadyAt  uint64
+	fetchHold     bool
+	ifq           []fetchRec
+	ifqHead       int
+	lastFetchLine uint64
+	specMode      bool
+
+	fuBusy [isa.NumClasses][]uint64
+
+	cycle           uint64
+	halted          bool
+	lastCommitCycle uint64
+
+	Stat Stats
+}
+
+// NewCore builds a core over the given text, memory and pre-warmed
+// microarchitectural structures. arch is the architectural starting state
+// (registers and PC); commitMem receives committed stores. The hierarchy's
+// transient cycle-domain state is reset; its cache/TLB contents are kept.
+func NewCore(cfg Config, text functional.TextSource, commitMem functional.MemRW,
+	arch functional.State, h *cache.Hier, bp *bpred.Predictor) *Core {
+	c := &Core{
+		cfg:           cfg,
+		text:          text,
+		hier:          h,
+		bp:            bp,
+		commit:        arch,
+		commitMem:     commitMem,
+		disp:          arch,
+		dispMem:       mem.NewOverlay(commitMem),
+		ruu:           make([]entry, cfg.RUUSize),
+		fetchPC:       arch.PC,
+		lastFetchLine: badPC,
+		ifq:           make([]fetchRec, 0, cfg.IFQSize),
+	}
+	for i := range c.createVec {
+		c.createVec[i] = -1
+	}
+	c.fuBusy[isa.ClassIntALU] = make([]uint64, cfg.IntALU)
+	c.fuBusy[isa.ClassIntMul] = make([]uint64, cfg.IntMul)
+	c.fuBusy[isa.ClassFPALU] = make([]uint64, cfg.FPALU)
+	c.fuBusy[isa.ClassFPMul] = make([]uint64, cfg.FPMul)
+	h.ResetTransients()
+	return c
+}
+
+// CommittedState returns the committed architectural state.
+func (c *Core) CommittedState() functional.State { return c.commit }
+
+// Cycle returns the current cycle count.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Halted reports whether a correct-path halt instruction committed.
+func (c *Core) Halted() bool { return c.halted }
+
+func (c *Core) slot(seq uint64) *entry { return &c.ruu[seq%uint64(len(c.ruu))] }
+
+// live reports whether the producer identified by seq is still in flight
+// and incomplete.
+func (c *Core) depPending(seq uint64) bool {
+	e := c.slot(seq)
+	return e.valid && e.seq == seq && !e.completed
+}
+
+// Run simulates until n more instructions commit or the program halts,
+// returning the number committed during this call. The cycle counter and
+// all pipeline state carry over across calls, so warming and measurement
+// phases observe a continuously live pipeline.
+//
+// Cycles in which no pipeline stage can make progress (long memory stalls)
+// are skipped to the next scheduled event; the resulting timing is
+// identical to stepping cycle by cycle because every wake-up in the model
+// is time-driven.
+func (c *Core) Run(n uint64) uint64 {
+	target := c.Stat.Committed + n
+	for c.Stat.Committed < target && !c.halted {
+		c.cycle++
+		active := 0
+		before := c.Stat.Committed
+		c.stageCommit(target)
+		active += int(c.Stat.Committed - before)
+		active += c.stageWriteback()
+		active += c.stageIssue()
+		active += c.stageDispatch()
+		active += c.stageFetch()
+		if active == 0 {
+			c.skipToNextEvent()
+		}
+		if c.cycle-c.lastCommitCycle > 1<<21 {
+			panic(fmt.Sprintf("uarch: no commit progress for %d cycles at cycle %d (pc=%d, head=%d tail=%d)",
+				c.cycle-c.lastCommitCycle, c.cycle, c.commit.PC, c.headSeq, c.tailSeq))
+		}
+	}
+	c.Stat.Cycles = c.cycle
+	return c.Stat.Committed - (target - n)
+}
+
+// skipToNextEvent advances the cycle counter to just before the earliest
+// time-driven wake-up: an in-flight completion, the fetch restart time, or
+// a functional unit becoming free. Panics if the pipeline is provably
+// deadlocked (no pending event at all).
+func (c *Core) skipToNextEvent() {
+	next := badPC
+	for s := c.headSeq; s != c.tailSeq; s++ {
+		e := c.slot(s)
+		if e.valid && e.issued && !e.completed && e.doneAt < next {
+			next = e.doneAt
+		}
+	}
+	if !c.fetchHold && c.fetchReadyAt > c.cycle && c.fetchReadyAt < next {
+		next = c.fetchReadyAt
+	}
+	for cl := range c.fuBusy {
+		for _, busy := range c.fuBusy[cl] {
+			if busy > c.cycle && busy < next {
+				next = busy
+			}
+		}
+	}
+	if next == badPC {
+		panic(fmt.Sprintf("uarch: pipeline deadlock at cycle %d (pc=%d, head=%d tail=%d, ifq=%d, hold=%v)",
+			c.cycle, c.commit.PC, c.headSeq, c.tailSeq, len(c.ifq)-c.ifqHead, c.fetchHold))
+	}
+	if next > c.cycle+1 {
+		c.cycle = next - 1
+	}
+}
+
+// --- Commit ---------------------------------------------------------------
+
+func (c *Core) stageCommit(target uint64) {
+	for commits := 0; commits < c.cfg.CommitWidth && c.Stat.Committed < target; commits++ {
+		if c.headSeq == c.tailSeq {
+			return
+		}
+		e := c.slot(c.headSeq)
+		if !e.valid || !e.completed {
+			return
+		}
+		if e.wrongPath {
+			// Wrong-path entries are squashed at recovery before the
+			// mispredicted branch can commit; reaching here is a bug.
+			panic(fmt.Sprintf("uarch: wrong-path entry at commit (seq %d, pc %d)", e.seq, e.pc))
+		}
+		if c.commit.PC != e.pc {
+			panic(fmt.Sprintf("uarch: commit pc skew: committed state at %d, entry at %d", c.commit.PC, e.pc))
+		}
+		if e.unknownFetch {
+			// A committed placeholder means correct-path text was missing
+			// from the image — a live-state capture bug, surfaced as a
+			// counter so experiments can assert on it.
+			c.Stat.CorrectPathUnknownFetches++
+		}
+		res := functional.Exec(&c.commit, e.inst, c.commitMem)
+		if res.Halt {
+			c.halted = true
+			c.retireHead(e)
+			c.Stat.Committed++
+			c.lastCommitCycle = c.cycle
+			return
+		}
+		c.commit.PC = res.NextPC
+		c.commit.InstRet++
+		if e.isStore {
+			stall := c.hier.CommitStore(e.memAddr, c.cycle)
+			c.retireHead(e)
+			c.Stat.Committed++
+			c.lastCommitCycle = c.cycle
+			if stall > 0 {
+				return // store buffer full: commit stops this cycle
+			}
+			continue
+		}
+		if e.isBranch {
+			c.bp.Update(isa.PCToAddr(e.pc), e.inst, e.actTaken, isa.PCToAddr(e.actNext))
+		}
+		c.retireHead(e)
+		c.Stat.Committed++
+		c.lastCommitCycle = c.cycle
+	}
+}
+
+func (c *Core) retireHead(e *entry) {
+	if e.isLoad || e.isStore {
+		c.lsqCount--
+	}
+	e.valid = false
+	c.headSeq++
+	// Periodically compact the dispatch overlay so long correct-path runs
+	// (golden full-benchmark simulations) do not accumulate an unbounded
+	// shadow of committed stores.
+	if c.Stat.Committed&0xffff == 0xffff {
+		c.rebuildDispatchMemory()
+	}
+}
+
+// --- Writeback / recovery ---------------------------------------------------
+
+func (c *Core) stageWriteback() int {
+	done := 0
+	for s := c.headSeq; s != c.tailSeq; s++ {
+		e := c.slot(s)
+		if !e.valid || !e.issued || e.completed {
+			continue
+		}
+		if e.doneAt > c.cycle {
+			continue
+		}
+		e.completed = true
+		done++
+		if e.doRecover {
+			c.recover(e)
+			return done // everything younger is gone
+		}
+	}
+	return done
+}
+
+// recover squashes all entries younger than the mispredicted branch e,
+// restores the dispatch context and predictor speculative state, and
+// redirects fetch to the branch's actual target.
+func (c *Core) recover(e *entry) {
+	c.Stat.Recoveries++
+	for s := e.seq + 1; s != c.tailSeq; s++ {
+		y := c.slot(s)
+		if y.valid {
+			if y.isLoad || y.isStore {
+				c.lsqCount--
+			}
+			y.valid = false
+		}
+	}
+	c.tailSeq = e.seq + 1
+
+	// Rebuild the register rename view from surviving entries.
+	for i := range c.createVec {
+		c.createVec[i] = -1
+	}
+	for s := c.headSeq; s != c.tailSeq; s++ {
+		y := c.slot(s)
+		if y.valid && y.writesReg {
+			c.createVec[y.inst.Rd] = int64(y.seq)
+		}
+	}
+
+	// Rebuild the dispatch context: committed state plus the effects of
+	// surviving in-flight instructions.
+	c.disp.Regs = c.commit.Regs
+	c.rebuildDispatchMemory()
+	for s := c.headSeq; s != c.tailSeq; s++ {
+		y := c.slot(s)
+		if y.valid && y.writesReg {
+			c.disp.SetReg(y.inst.Rd, y.rdVal)
+		}
+	}
+
+	c.bp.RestoreLite(e.bpSave)
+	c.bp.ApplyOutcome(isa.PCToAddr(e.pc), e.inst, e.actTaken)
+
+	c.fetchPC = e.actNext
+	c.fetchReadyAt = c.cycle + uint64(c.cfg.BranchPenalty)
+	c.fetchHold = false
+	c.ifq = c.ifq[:0]
+	c.ifqHead = 0
+	c.lastFetchLine = badPC
+	c.specMode = false
+	e.doRecover = false
+}
+
+// rebuildDispatchMemory resets the dispatch overlay to the committed memory
+// plus all surviving in-flight stores.
+func (c *Core) rebuildDispatchMemory() {
+	c.dispMem.Reset()
+	for s := c.headSeq; s != c.tailSeq; s++ {
+		y := c.slot(s)
+		if y.valid && y.isStore {
+			c.dispMem.WriteWord(y.memAddr, y.memVal)
+		}
+	}
+}
+
+// --- Issue ------------------------------------------------------------------
+
+func (c *Core) stageIssue() int {
+	issued := 0
+	portsUsed := 0
+	for s := c.headSeq; s != c.tailSeq && issued < c.cfg.IssueWidth; s++ {
+		e := c.slot(s)
+		if !e.valid || e.issued {
+			continue
+		}
+		ready := true
+		for i := 0; i < e.nDep; i++ {
+			if c.depPending(e.dep[i]) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		li := opLat[e.inst.Op]
+		switch {
+		case e.isLoad && e.fwdStore:
+			// Store-to-load forwarding: one cycle after data is ready.
+			e.issued = true
+			e.doneAt = c.cycle + 1
+		case e.isLoad:
+			if portsUsed >= c.cfg.MemPorts {
+				continue
+			}
+			portsUsed++
+			e.issued = true
+			e.doneAt = c.hier.Load(e.memAddr, c.cycle)
+		case e.isStore:
+			if portsUsed >= c.cfg.MemPorts {
+				continue
+			}
+			portsUsed++
+			e.issued = true
+			e.doneAt = c.hier.StoreAddr(e.memAddr, c.cycle)
+		case li.class == isa.ClassNone:
+			e.issued = true
+			e.doneAt = c.cycle + 1
+		default:
+			fu := c.fuBusy[li.class]
+			slot := -1
+			for i := range fu {
+				if fu[i] <= c.cycle {
+					slot = i
+					break
+				}
+			}
+			if slot < 0 {
+				continue
+			}
+			fu[slot] = c.cycle + uint64(li.interval)
+			e.issued = true
+			e.doneAt = c.cycle + uint64(li.latency)
+		}
+		issued++
+	}
+	return issued
+}
+
+// --- Dispatch ----------------------------------------------------------------
+
+func (c *Core) stageDispatch() int {
+	dispatched := 0
+	for n := 0; n < c.cfg.DecodeWidth; n++ {
+		if c.ifqHead >= len(c.ifq) {
+			return dispatched
+		}
+		rec := &c.ifq[c.ifqHead]
+		if rec.fetchedAt >= c.cycle {
+			return dispatched // 1-cycle fetch-to-dispatch latency
+		}
+		if c.tailSeq-c.headSeq >= uint64(c.cfg.RUUSize) {
+			return dispatched // RUU full
+		}
+		isMem := rec.inst.Op.IsMem()
+		if isMem && c.lsqCount >= c.cfg.LSQSize {
+			return dispatched // LSQ full
+		}
+		dispatched++
+
+		seq := c.tailSeq
+		c.tailSeq++
+		e := c.slot(seq)
+		*e = entry{
+			seq:          seq,
+			valid:        true,
+			pc:           rec.pc,
+			inst:         rec.inst,
+			wrongPath:    c.specMode,
+			unknownFetch: rec.unknown,
+			isBranch:     rec.isBranch,
+			predNext:     rec.predNext,
+			bpSave:       rec.bpSave,
+		}
+		c.ifqHead++
+		c.Stat.Dispatched++
+		if c.specMode {
+			c.Stat.WrongPathDisp++
+		}
+
+		// Register dependences.
+		var srcs [2]uint8
+		for _, r := range rec.inst.SrcRegs(srcs[:0]) {
+			if r == isa.RegZero {
+				continue
+			}
+			if ps := c.createVec[r]; ps >= 0 && c.depPending(uint64(ps)) {
+				e.dep[e.nDep] = uint64(ps)
+				e.nDep++
+			}
+		}
+
+		// Dispatch-time functional execution against the speculative
+		// context.
+		c.disp.PC = rec.pc
+		res := functional.Exec(&c.disp, rec.inst, c.dispMem)
+
+		if isMem {
+			c.lsqCount++
+			e.memAddr = res.MemAddr
+			e.isLoad = res.IsLoad
+			e.isStore = res.IsStore
+			if e.isStore {
+				e.memVal = c.disp.Reg(rec.inst.Rs2)
+			}
+			if e.isLoad {
+				if !res.LoadOK {
+					c.Stat.UnknownLoads++
+					if !c.specMode {
+						c.Stat.CorrectPathUnknownLoads++
+					}
+				}
+				// Store-to-load forwarding from the youngest older
+				// matching in-flight store.
+				for s := seq; s != c.headSeq; {
+					s--
+					y := c.slot(s)
+					if y.valid && y.isStore && y.memAddr == e.memAddr {
+						if !y.completed {
+							e.dep[e.nDep] = y.seq
+							e.nDep++
+						}
+						e.fwdStore = true
+						break
+					}
+				}
+			}
+		}
+
+		if e.writesReg = rec.inst.WritesReg(); e.writesReg {
+			e.rdVal = c.disp.Reg(rec.inst.Rd)
+			c.createVec[rec.inst.Rd] = int64(seq)
+		}
+
+		if rec.isBranch {
+			e.actTaken = res.Taken
+			e.actNext = res.NextPC
+			if rec.predNext != res.NextPC && !c.specMode {
+				e.doRecover = true
+				c.specMode = true
+			}
+		}
+	}
+	return dispatched
+}
+
+// --- Fetch --------------------------------------------------------------------
+
+func (c *Core) stageFetch() int {
+	fetched := 0
+	if c.fetchHold || c.cycle < c.fetchReadyAt {
+		return 0
+	}
+	// Compact the fetch queue storage so it cannot grow without bound.
+	if c.ifqHead > 0 && (c.ifqHead == len(c.ifq) || c.ifqHead >= 2*c.cfg.IFQSize) {
+		c.ifq = append(c.ifq[:0], c.ifq[c.ifqHead:]...)
+		c.ifqHead = 0
+	}
+	condPreds := 0
+	lineBytes := uint64(c.cfg.Hier.L1I.LineBytes)
+	for n := 0; n < c.cfg.FetchWidth && len(c.ifq)-c.ifqHead < c.cfg.IFQSize; n++ {
+		addr := isa.PCToAddr(c.fetchPC)
+		line := addr / lineBytes
+		if line != c.lastFetchLine {
+			done := c.hier.IFetch(addr, c.cycle)
+			c.lastFetchLine = line
+			if done > c.cycle+uint64(c.cfg.Hier.L1I.HitLat) {
+				// I-cache miss: fetch resumes when the line arrives.
+				c.fetchReadyAt = done
+				return fetched + 1 // the access itself is progress
+			}
+		}
+		in, ok := c.text.Fetch(c.fetchPC)
+		rec := fetchRec{pc: c.fetchPC, inst: in, fetchedAt: c.cycle}
+		if !ok {
+			// Wrong-path fetch into unavailable text: the paper's
+			// approximation treats it as a nop-like filler.
+			rec.unknown = true
+			rec.inst = isa.Inst{Op: isa.OpNop}
+			c.Stat.UnknownFetches++
+			c.ifq = append(c.ifq, rec)
+			fetched++
+			c.fetchPC++
+			continue
+		}
+		if in.Op == isa.OpHalt {
+			c.ifq = append(c.ifq, rec)
+			c.fetchHold = true
+			return fetched + 1
+		}
+		if in.Op.IsBranch() {
+			if in.Op.IsCondBranch() {
+				if condPreds >= c.cfg.PredsPerCycle {
+					return fetched // prediction bandwidth exhausted this cycle
+				}
+				condPreds++
+			}
+			rec.isBranch = true
+			rec.bpSave = c.bp.SaveLite()
+			taken, tgtAddr, known := c.bp.Lookup(isa.PCToAddr(c.fetchPC), in)
+			if taken {
+				if !known {
+					// No predicted target: fetch stalls until the branch
+					// resolves and recovery redirects.
+					rec.predNext = badPC
+					c.ifq = append(c.ifq, rec)
+					c.fetchHold = true
+					return fetched + 1
+				}
+				rec.predNext = isa.AddrToPC(tgtAddr)
+				c.ifq = append(c.ifq, rec)
+				c.fetchPC = rec.predNext
+				return fetched + 1 // taken-branch fetch break
+			}
+			rec.predNext = c.fetchPC + 1
+			c.ifq = append(c.ifq, rec)
+			fetched++
+			c.fetchPC++
+			continue
+		}
+		c.ifq = append(c.ifq, rec)
+		fetched++
+		c.fetchPC++
+	}
+	return fetched
+}

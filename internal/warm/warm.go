@@ -1,0 +1,195 @@
+// Package warm implements the warming engines of §2 and §4: the
+// functional-warming adapter that keeps long-history structures warm during
+// functional simulation, and the SMARTS engine (full warming) that
+// interleaves functional warming with detailed windows — the baseline every
+// other warming method is measured against.
+package warm
+
+import (
+	"fmt"
+	"time"
+
+	"livepoints/internal/bpred"
+	"livepoints/internal/cache"
+	"livepoints/internal/functional"
+	"livepoints/internal/isa"
+	"livepoints/internal/mem"
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+)
+
+// Warmer adapts a memory hierarchy and branch predictor to the functional
+// simulator's warming hooks. Optional observers receive the reference
+// stream (used by MRRL analysis and MTR capture).
+type Warmer struct {
+	H  *cache.Hier
+	BP *bpred.Predictor
+
+	// OnMem, when non-nil, observes every data reference (word address).
+	OnMem func(addr uint64, write bool)
+	// OnFetch, when non-nil, observes every instruction fetch (byte
+	// address).
+	OnFetch func(addr uint64)
+}
+
+// WarmFetch implements functional.Warmer.
+func (w *Warmer) WarmFetch(addr uint64) {
+	if w.H != nil {
+		w.H.WarmFetch(addr)
+	}
+	if w.OnFetch != nil {
+		w.OnFetch(addr)
+	}
+}
+
+// WarmMem implements functional.Warmer.
+func (w *Warmer) WarmMem(addr uint64, write bool) {
+	if w.H != nil {
+		w.H.WarmData(addr, write)
+	}
+	if w.OnMem != nil {
+		w.OnMem(addr, write)
+	}
+}
+
+// WarmBranch implements functional.Warmer.
+func (w *Warmer) WarmBranch(addr uint64, in isa.Inst, taken bool, target uint64) {
+	if w.BP != nil {
+		w.BP.UpdateWithSpec(addr, in, taken, target)
+	}
+}
+
+// BenchLength runs a pure functional simulation to halt and returns the
+// benchmark's exact dynamic instruction count. maxInst bounds runaway
+// programs.
+func BenchLength(p *prog.Program, maxInst uint64) (uint64, error) {
+	cpu := functional.New(p, p.NewMemory())
+	return cpu.RunToHalt(maxInst)
+}
+
+// WindowResult is the outcome of one detailed window.
+type WindowResult struct {
+	UnitCPI float64
+	Stats   uarch.Stats
+}
+
+// RunWindow runs one detailed window (warming then measurement) on the
+// given core, returning the CPI of the measurement interval.
+func RunWindow(core *uarch.Core, warmLen, unitLen uint64) (WindowResult, error) {
+	if n := core.Run(warmLen); n != warmLen {
+		return WindowResult{}, fmt.Errorf("warm: window halted during detailed warming (%d of %d committed)", n, warmLen)
+	}
+	cyclesAtMeasure := core.Cycle()
+	if n := core.Run(unitLen); n != unitLen {
+		return WindowResult{}, fmt.Errorf("warm: window halted during measurement (%d of %d committed)", n, unitLen)
+	}
+	cpi := float64(core.Cycle()-cyclesAtMeasure) / float64(unitLen)
+	return WindowResult{UnitCPI: cpi, Stats: core.Stat}, nil
+}
+
+// SMARTSResult is the outcome of a full-warming (SMARTS) sampled
+// simulation.
+type SMARTSResult struct {
+	UnitCPIs []float64
+	Est      sampling.Estimate
+
+	// Instruction and wall-clock accounting, the basis of Figure 1's
+	// runtime split.
+	FuncWarmInsts uint64
+	DetailedInsts uint64
+	FuncWarmTime  time.Duration
+	DetailedTime  time.Duration
+}
+
+// SMARTSOpts tunes the engine.
+type SMARTSOpts struct {
+	// CheckHandoff verifies after every window that the detailed core's
+	// committed architectural state equals pure functional execution —
+	// the invariant the sampling methodology rests on. Costs one register
+	// compare per window.
+	CheckHandoff bool
+	// MaxUnits, when positive, stops after that many measurement units
+	// (used for pilot variance runs).
+	MaxUnits int
+}
+
+// RunSMARTS performs full-warming simulation sampling over the program:
+// functional warming between windows, detailed windows at each design
+// position. This is the paper's SMARTS baseline (Figure 1) and also the
+// creation-time reference for checkpointed warming.
+func RunSMARTS(cfg uarch.Config, p *prog.Program, design sampling.Design, opts SMARTSOpts) (*SMARTSResult, error) {
+	m := p.NewMemory()
+	hier := cache.NewHier(cfg.Hier)
+	bp := bpred.New(cfg.BP)
+	w := &Warmer{H: hier, BP: bp}
+	cpu := functional.New(p, m)
+	cpu.Warm = w
+
+	res := &SMARTSResult{}
+	for j := 0; j < design.Units(); j++ {
+		if opts.MaxUnits > 0 && j >= opts.MaxUnits {
+			break
+		}
+		start := design.WindowStart(j)
+		if cpu.InstRet > start {
+			return nil, fmt.Errorf("warm: overlapping windows at unit %d (at %d, window starts %d)", j, cpu.InstRet, start)
+		}
+		// Functional warming up to the window.
+		t0 := time.Now()
+		ff := start - cpu.InstRet
+		if n, err := cpu.Run(ff); err != nil || n != ff {
+			return nil, fmt.Errorf("warm: functional warming ended early at unit %d: %v", j, err)
+		}
+		res.FuncWarmInsts += ff
+		res.FuncWarmTime += time.Since(t0)
+
+		// Detailed window on an overlay; caches and predictor are shared
+		// with warming, exactly as in SMARTS.
+		t0 = time.Now()
+		winLen := design.WindowLen()
+		overlay := mem.NewOverlay(m)
+		core := uarch.NewCore(cfg, p, overlay, cpu.State, hier, bp)
+		wr, err := RunWindow(core, design.WarmLen, design.UnitLen)
+		if err != nil {
+			return nil, fmt.Errorf("warm: unit %d: %w", j, err)
+		}
+		res.UnitCPIs = append(res.UnitCPIs, wr.UnitCPI)
+		res.Est.Add(wr.UnitCPI)
+		res.DetailedInsts += winLen
+		res.DetailedTime += time.Since(t0)
+
+		// Advance the functional simulator over the window with warming
+		// off — the detailed core already performed the window's
+		// microarchitectural updates (including wrong-path pollution).
+		cpu.Warm = nil
+		if n, err := cpu.Run(winLen); err != nil || n != winLen {
+			return nil, fmt.Errorf("warm: functional advance over window %d failed: %v", j, err)
+		}
+		cpu.Warm = w
+
+		if opts.CheckHandoff {
+			cs := core.CommittedState()
+			if cs.PC != cpu.PC || cs.Regs != cpu.Regs {
+				return nil, fmt.Errorf("warm: handoff invariant violated at unit %d: core pc=%d functional pc=%d", j, cs.PC, cpu.PC)
+			}
+		}
+	}
+	return res, nil
+}
+
+// RunFullDetailed runs the entire benchmark through the detailed core with
+// cold-started but continuously-live structures: the sim-outorder
+// "complete simulation" gold standard against which sampling bias is
+// measured. Returns overall CPI and the core statistics.
+func RunFullDetailed(cfg uarch.Config, p *prog.Program, maxInst uint64) (float64, uarch.Stats, error) {
+	m := p.NewMemory()
+	hier := cache.NewHier(cfg.Hier)
+	bp := bpred.New(cfg.BP)
+	core := uarch.NewCore(cfg, p, m, functional.State{}, hier, bp)
+	core.Run(maxInst)
+	if !core.Halted() {
+		return 0, core.Stat, fmt.Errorf("warm: benchmark did not halt within %d instructions", maxInst)
+	}
+	return core.Stat.CPI(), core.Stat, nil
+}

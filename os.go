@@ -1,0 +1,6 @@
+package livepoints
+
+import "os"
+
+// osRemove is a seam for tests; production code deletes via os.Remove.
+var osRemove = os.Remove

@@ -10,12 +10,20 @@
 package livepoints_test
 
 import (
+	"fmt"
+	"io"
 	"math"
+	"math/rand"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"livepoints/internal/asn1der"
 	"livepoints/internal/harness"
+	"livepoints/internal/livepoint"
+	"livepoints/internal/lpstore"
 	"livepoints/internal/uarch"
 )
 
@@ -221,6 +229,254 @@ func BenchmarkScalingBehavior(b *testing.B) {
 		b.ReportMetric(last.SMARTS/math.Max(first.SMARTS, 1e-9), "smarts-growth-x")
 		b.ReportMetric(last.LivePoints/math.Max(first.LivePoints, 1e-9), "lp-growth-x")
 	}
+}
+
+// storeBenchLib lazily builds one synthetic library pair (v1 sequential,
+// v2 sharded) shared by the BenchmarkStoreRead variants: 512 DER blobs of
+// ~32 KB of half-compressible content, the shape of real live-points.
+var (
+	storeBenchOnce  sync.Once
+	storeBenchV1    string
+	storeBenchV2    string
+	storeBenchBytes int64
+	storeBenchErr   error
+)
+
+func storeBenchSetup(b *testing.B) (v1, v2 string, bytes int64) {
+	b.Helper()
+	storeBenchOnce.Do(func() {
+		const points, blobLen = 512, 32 << 10
+		rng := rand.New(rand.NewSource(0xBE7C4))
+		blobs := make([][]byte, points)
+		for i := range blobs {
+			payload := make([]byte, blobLen)
+			for j := range payload {
+				if j%3 == 0 {
+					payload[j] = byte(rng.Intn(256))
+				} else {
+					payload[j] = byte(i & 0xF)
+				}
+			}
+			bb := asn1der.NewBuilder()
+			bb.OctetString(payload)
+			blobs[i] = bb.Bytes()
+			storeBenchBytes += int64(len(blobs[i]))
+		}
+		dir, err := os.MkdirTemp("", "lpstore-bench")
+		if err != nil {
+			storeBenchErr = err
+			return
+		}
+		// The temp dir leaks for the process lifetime; benchmarks share it.
+		storeBenchV1 = filepath.Join(dir, "v1.lplib")
+		storeBenchV2 = filepath.Join(dir, "v2.lplib")
+		meta := livepoint.Meta{Benchmark: "syn.bench", Shuffled: true}
+		if _, err := livepoint.WriteLibrary(storeBenchV1, meta, blobs); err != nil {
+			storeBenchErr = err
+			return
+		}
+		if _, err := lpstore.Write(storeBenchV2, meta, blobs, lpstore.WriteOpts{ShardPoints: 32}); err != nil {
+			storeBenchErr = err
+		}
+	})
+	if storeBenchErr != nil {
+		b.Fatal(storeBenchErr)
+	}
+	return storeBenchV1, storeBenchV2, storeBenchBytes
+}
+
+// drainSeq reads every blob from a library sequentially.
+func drainSeq(b *testing.B, path string) int {
+	b.Helper()
+	src, err := livepoint.OpenSource(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	n := 0
+	for {
+		if _, err := src.NextBlob(); err == io.EOF {
+			return n
+		} else if err != nil {
+			b.Fatal(err)
+		}
+		n++
+	}
+}
+
+// drainSharded reads every blob from a v2 library with workers pulling
+// independent shards — the decompression path parallel runners use.
+func drainSharded(b *testing.B, path string, workers int) int {
+	b.Helper()
+	src, err := livepoint.OpenSource(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer src.Close()
+	ss, ok := src.(livepoint.ShardedSource)
+	if !ok {
+		b.Fatal("v2 source should be sharded")
+	}
+	shardc := make(chan int)
+	go func() {
+		defer close(shardc)
+		for s := 0; s < ss.NumShards(); s++ {
+			shardc <- s
+		}
+	}()
+	var total atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shardc {
+				sub, err := ss.OpenShard(s)
+				if err != nil {
+					errc <- err
+					return
+				}
+				for {
+					if _, err := sub.NextBlob(); err == io.EOF {
+						break
+					} else if err != nil {
+						errc <- err
+						return
+					}
+					total.Add(1)
+				}
+				sub.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		b.Fatal(err)
+	default:
+	}
+	return int(total.Load())
+}
+
+// BenchmarkStoreRead compares library read throughput: the v1 sequential
+// gzip stream (one decompressor, no matter how many workers) against the
+// v2 sharded store draining shards concurrently at Parallel ∈ {1, 4, 8}.
+// The parallel variants scale with available cores (decompression is the
+// cost); on a single-core host they only demonstrate no regression.
+func BenchmarkStoreRead(b *testing.B) {
+	v1, v2, bytes := storeBenchSetup(b)
+	b.Run("v1-sequential", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			if n := drainSeq(b, v1); n != 512 {
+				b.Fatalf("read %d points, want 512", n)
+			}
+		}
+	})
+	b.Run("v2-sequential", func(b *testing.B) {
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			if n := drainSeq(b, v2); n != 512 {
+				b.Fatalf("read %d points, want 512", n)
+			}
+		}
+	})
+	for _, par := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("v2-parallel-%d", par), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				if n := drainSharded(b, v2, par); n != 512 {
+					b.Fatalf("read %d points, want 512", n)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStoreRandomAccess reads 4 scattered points: v1 must stream
+// (and decompress) everything up to each target; v2 inflates only the
+// shards that hold them. This is the access pattern of dynamic sample
+// allocation, where a scheduler asks for arbitrary subsets at runtime.
+func BenchmarkStoreRandomAccess(b *testing.B) {
+	v1, v2, _ := storeBenchSetup(b)
+	targets := []int{37, 205, 389, 500}
+	b.Run("v1-stream", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src, err := livepoint.OpenSource(v1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, want := 0, 0
+			for pos := 0; pos <= targets[len(targets)-1]; pos++ {
+				blob, err := src.NextBlob()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if want < len(targets) && pos == targets[want] {
+					want++
+					got += len(blob)
+				}
+			}
+			src.Close()
+			if got == 0 {
+				b.Fatal("no bytes read")
+			}
+		}
+	})
+	b.Run("v2-pointblob", func(b *testing.B) {
+		st, err := lpstore.Open(v2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		for i := 0; i < b.N; i++ {
+			got := 0
+			for _, pos := range targets {
+				blob, err := st.PointBlob(pos)
+				if err != nil {
+					b.Fatal(err)
+				}
+				got += len(blob)
+			}
+			if got == 0 {
+				b.Fatal("no bytes read")
+			}
+		}
+	})
+}
+
+// BenchmarkStoreShuffle compares reshuffling cost: v1 ShuffleFile
+// decompresses, permutes, and recompresses the whole library; v2 Shuffle
+// rewrites only the footer index.
+func BenchmarkStoreShuffle(b *testing.B) {
+	v1, v2, _ := storeBenchSetup(b)
+	dir := b.TempDir()
+	b.Run("v1-rewrite", func(b *testing.B) {
+		dst := filepath.Join(dir, "shuffled.lplib")
+		for i := 0; i < b.N; i++ {
+			if err := livepoint.ShuffleFile(v1, dst, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("v2-index-only", func(b *testing.B) {
+		// Shuffle in place on a scratch copy so v2 stays pristine.
+		raw, err := os.ReadFile(v2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := filepath.Join(dir, "scratch.lplib")
+		if err := os.WriteFile(dst, raw, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := lpstore.Shuffle(dst, int64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkOnlineConvergence regenerates the §6.1 online-reporting demo.

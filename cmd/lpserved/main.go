@@ -1,0 +1,100 @@
+// Command lpserved serves a live-point library to remote simulation
+// workers over HTTP.
+//
+//	lpserved -lib gcc.lplib                 # serve on :8147
+//	lpserved -lib gcc.lplib -addr :9000
+//	lpsim -server http://host:8147          # remote worker pulls points
+//
+// Legacy v1 (sequential gzip) libraries are migrated to the sharded v2
+// format on startup — written next to the source by default — so every
+// served library supports random access, ranged batch fetch, and raw-shard
+// passthrough (stored gzip bytes stream to clients verbatim; the server
+// never recompresses). SIGINT/SIGTERM drain in-flight requests before
+// exit.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"livepoints/internal/lpserve"
+	"livepoints/internal/lpstore"
+)
+
+func main() {
+	var (
+		lib         = flag.String("lib", "", "live-point library path, v1 or v2 (required)")
+		addr        = flag.String("addr", ":8147", "listen address")
+		migrateOut  = flag.String("migrate-out", "", "where to write the v2 migration of a v1 library (default <lib>.v2)")
+		shardPoints = flag.Int("shard-points", 0, "points per shard when migrating (default 64)")
+		drainWait   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+	if *lib == "" {
+		log.Fatal("lpserved: -lib is required")
+	}
+
+	path := *lib
+	v2, err := lpstore.IsV2(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !v2 {
+		dst := *migrateOut
+		if dst == "" {
+			dst = path + ".v2"
+		}
+		log.Printf("%s is a v1 library; migrating to %s...", path, dst)
+		info, err := lpstore.Migrate(path, dst, lpstore.WriteOpts{ShardPoints: *shardPoints})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("migrated %d points into %d shards (%.1f MB)", info.Points, info.Shards,
+			float64(info.CompressedBytes)/(1<<20))
+		path = dst
+	}
+
+	st, err := lpstore.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat := st.Stat()
+	log.Printf("serving %s (%d points, %d shards, shuffled=%v) on http://%s",
+		stat.Benchmark, stat.Points, stat.Shards, stat.Shuffled, l.Addr())
+
+	srv := lpserve.NewServer(st)
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-served:
+		if err != nil {
+			log.Fatal(err)
+		}
+	case s := <-sig:
+		log.Printf("%s: draining (up to %v)...", s, *drainWait)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-served; err != nil {
+			log.Fatal(err)
+		}
+		log.Print("bye")
+	}
+}

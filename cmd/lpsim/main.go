@@ -1,7 +1,10 @@
-// Command lpsim runs sampling experiments from a live-point library.
+// Command lpsim runs sampling experiments from a live-point library — a
+// local file (v1 or sharded v2, auto-detected) or a remote lpserved
+// instance.
 //
 //	lpsim -lib gcc.lplib                          # absolute CPI to ±3% @ 99.7%
 //	lpsim -lib gcc.lplib -parallel 8              # goroutine-parallel
+//	lpsim -server http://host:8147 -parallel 8    # pull from lpserved
 //	lpsim -lib gcc.lplib -matched -memlat 150     # matched-pair comparison
 //
 // Results and their confidence are reported online as the (shuffled)
@@ -19,7 +22,8 @@ import (
 
 func main() {
 	var (
-		lib        = flag.String("lib", "", "live-point library path (required)")
+		lib        = flag.String("lib", "", "live-point library path")
+		server     = flag.String("server", "", "lpserved base URL (e.g. http://host:8147); alternative to -lib")
 		configName = flag.String("config", "8way", "simulated configuration: 8way or 16way")
 		relErr     = flag.Float64("err", 0.03, "relative error target (0 = process whole library)")
 		parallel   = flag.Int("parallel", 1, "simulation workers")
@@ -29,13 +33,28 @@ func main() {
 		ruu        = flag.Int("ruu", 0, "matched: override RUU size")
 	)
 	flag.Parse()
-	if *lib == "" {
-		log.Fatal("lpsim: -lib is required")
+	if (*lib == "") == (*server == "") {
+		log.Fatal("lpsim: exactly one of -lib or -server is required")
 	}
 
 	cfg := livepoints.Config8Way()
 	if *configName == "16way" {
 		cfg = livepoints.Config16Way()
+	}
+
+	// source opens a fresh stream over the chosen library; nil means run
+	// from the local file path (which auto-detects the format).
+	var source func() (livepoints.Source, error)
+	where := *lib
+	if *server != "" {
+		client, err := livepoints.Connect(*server)
+		if err != nil {
+			log.Fatal(err)
+		}
+		stat := client.Stat()
+		log.Printf("connected to %s: %s, %d points in %d shards", *server, stat.Benchmark, stat.Points, stat.Shards)
+		source = func() (livepoints.Source, error) { return client.Source(), nil }
+		where = *server
 	}
 
 	if *matched {
@@ -50,11 +69,22 @@ func main() {
 		if *ruu > 0 {
 			exp.RUUSize = *ruu
 		}
-		t0 := time.Now()
-		res, err := livepoints.RunMatched(*lib, livepoints.MatchedOpts{
+		opts := livepoints.MatchedOpts{
 			Base: cfg, Exp: exp,
 			Z: livepoints.Z997, RelErr: *relErr / 2, NoImpactThreshold: 0.03,
-		})
+		}
+		t0 := time.Now()
+		var res *livepoints.MatchedResult
+		var err error
+		if source != nil {
+			var src livepoints.Source
+			if src, err = source(); err == nil {
+				defer src.Close()
+				res, err = livepoints.RunMatchedSource(src, opts)
+			}
+		} else {
+			res, err = livepoints.RunMatched(where, opts)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,10 +98,21 @@ func main() {
 		return
 	}
 
-	t0 := time.Now()
-	res, err := livepoints.Run(*lib, livepoints.RunOpts{
+	opts := livepoints.RunOpts{
 		Cfg: cfg, Z: livepoints.Z997, RelErr: *relErr, Parallel: *parallel,
-	})
+	}
+	t0 := time.Now()
+	var res *livepoints.RunResult
+	var err error
+	if source != nil {
+		var src livepoints.Source
+		if src, err = source(); err == nil {
+			defer src.Close()
+			res, err = livepoints.RunSource(src, opts)
+		}
+	} else {
+		res, err = livepoints.Run(where, opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

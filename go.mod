@@ -1,0 +1,3 @@
+module livepoints
+
+go 1.22

@@ -131,7 +131,7 @@ func NewReader(r io.Reader) (*Reader, error) {
 		return nil, fmt.Errorf("livepoint: open library: %w", err)
 	}
 	br := bufio.NewReaderSize(gz, 1<<20)
-	hdr, err := readElement(br)
+	hdr, err := ReadElement(br)
 	if err != nil {
 		return nil, fmt.Errorf("livepoint: read header: %w", err)
 	}
@@ -147,7 +147,7 @@ func (r *Reader) NextBlob() ([]byte, error) {
 	if r.read >= r.Meta.Count {
 		return nil, io.EOF
 	}
-	blob, err := readElement(r.br)
+	blob, err := ReadElement(r.br)
 	if err != nil {
 		return nil, fmt.Errorf("livepoint: point %d: %w", r.read, err)
 	}
@@ -164,9 +164,12 @@ func (r *Reader) Next() (*LivePoint, error) {
 	return Decode(blob)
 }
 
-// readElement reads one complete DER TLV element (tag, length, content)
-// from the stream, returning the full element bytes.
-func readElement(br *bufio.Reader) ([]byte, error) {
+// ReadElement reads one complete DER TLV element (tag, length, content)
+// from the stream, returning the full element bytes. Encoded live-points
+// are self-delimiting DER elements, so concatenated blobs — a v1 library
+// body, a v2 shard, or a serving batch response — split with repeated
+// calls.
+func ReadElement(br *bufio.Reader) ([]byte, error) {
 	head := make([]byte, 2, 6)
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, err

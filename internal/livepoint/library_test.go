@@ -1,0 +1,218 @@
+package livepoint
+
+import (
+	"bytes"
+	"compress/gzip"
+	"strings"
+	"testing"
+
+	"livepoints/internal/asn1der"
+)
+
+// gzipped compresses raw into a single gzip stream.
+func gzipped(t *testing.T, raw []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// validLibrary builds an in-memory v1 library with the given declared
+// count and actual blobs.
+func validLibrary(t *testing.T, declared int, blobs [][]byte) []byte {
+	t.Helper()
+	b := asn1der.NewBuilder()
+	b.Sequence(func(b *asn1der.Builder) {
+		b.UTF8String(libMagic)
+		b.UTF8String("syn.err")
+		b.Uint64(uint64(declared))
+		b.Uint64(100)
+		b.Uint64(200)
+		b.Bool(false)
+	})
+	raw := b.Bytes()
+	for _, blob := range blobs {
+		raw = append(raw, blob...)
+	}
+	return gzipped(t, raw)
+}
+
+func someBlobs(n int) [][]byte {
+	blobs := make([][]byte, n)
+	for i := range blobs {
+		b := asn1der.NewBuilder()
+		b.OctetString(bytes.Repeat([]byte{byte(i)}, 40))
+		blobs[i] = b.Bytes()
+	}
+	return blobs
+}
+
+func TestNewReaderWrongMagic(t *testing.T) {
+	b := asn1der.NewBuilder()
+	b.Sequence(func(b *asn1der.Builder) {
+		b.UTF8String("not-a-livepoint-library")
+		b.UTF8String("bench")
+		b.Uint64(0)
+		b.Uint64(0)
+		b.Uint64(0)
+		b.Bool(false)
+	})
+	_, err := NewReader(bytes.NewReader(gzipped(t, b.Bytes())))
+	if err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Fatalf("wrong magic should be rejected by name, got: %v", err)
+	}
+}
+
+func TestNewReaderNotGzip(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("plain text, not a library"))); err == nil {
+		t.Fatal("non-gzip input should fail to open")
+	}
+}
+
+// TestNewReaderOnV2Magic documents the cross-format error: a v2 sharded
+// library is not a gzip stream, so the v1 reader must refuse it at open.
+func TestNewReaderOnV2Magic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("LPLIBv2\nwhatever follows"))); err == nil {
+		t.Fatal("v2 library should be rejected by the v1 reader")
+	}
+}
+
+func TestNewReaderTruncatedHeader(t *testing.T) {
+	lib := validLibrary(t, 2, someBlobs(2))
+	// Truncate inside the compressed stream: either gzip open or header
+	// read must fail, never succeed.
+	for _, cut := range []int{1, 5, len(lib) / 2} {
+		if cut >= len(lib) {
+			continue
+		}
+		r, err := NewReader(bytes.NewReader(lib[:cut]))
+		if err != nil {
+			continue
+		}
+		if _, err := r.NextBlob(); err == nil {
+			t.Fatalf("truncation at %d of %d bytes went unnoticed", cut, len(lib))
+		}
+	}
+}
+
+// TestReaderTruncatedMidPoint checks a stream that dies inside a point
+// body surfaces an error naming the point.
+func TestReaderTruncatedMidPoint(t *testing.T) {
+	blobs := someBlobs(3)
+	b := asn1der.NewBuilder()
+	b.Sequence(func(b *asn1der.Builder) {
+		b.UTF8String(libMagic)
+		b.UTF8String("syn.err")
+		b.Uint64(3)
+		b.Uint64(100)
+		b.Uint64(200)
+		b.Bool(false)
+	})
+	raw := b.Bytes()
+	raw = append(raw, blobs[0]...)
+	raw = append(raw, blobs[1][:10]...) // second point cut short
+	r, err := NewReader(bytes.NewReader(gzipped(t, raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.NextBlob(); err != nil {
+		t.Fatalf("first point should read cleanly: %v", err)
+	}
+	if _, err := r.NextBlob(); err == nil || !strings.Contains(err.Error(), "point 1") {
+		t.Fatalf("mid-point truncation should name point 1, got: %v", err)
+	}
+}
+
+// TestReaderCountOverrun checks a library declaring more points than it
+// contains fails on read rather than returning a clean EOF.
+func TestReaderCountOverrun(t *testing.T) {
+	lib := validLibrary(t, 5, someBlobs(2))
+	r, err := NewReader(bytes.NewReader(lib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta.Count != 5 {
+		t.Fatalf("declared count %d, want 5", r.Meta.Count)
+	}
+	var readErr error
+	n := 0
+	for i := 0; i < 5; i++ {
+		if _, err := r.NextBlob(); err != nil {
+			readErr = err
+			break
+		}
+		n++
+	}
+	if readErr == nil {
+		t.Fatal("declared-count overrun went unnoticed")
+	}
+	if n != 2 {
+		t.Fatalf("read %d points before the overrun error, want 2", n)
+	}
+}
+
+// TestWriterCountMismatch checks both writer-side count violations.
+func TestWriterCountMismatch(t *testing.T) {
+	blob := someBlobs(1)[0]
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Meta{Benchmark: "b", Count: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(blob); err == nil {
+		t.Fatal("adding beyond the declared count should fail")
+	}
+
+	buf.Reset()
+	w, err = NewWriter(&buf, Meta{Benchmark: "b", Count: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Add(blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("closing short of the declared count should fail")
+	}
+}
+
+// TestReadElementBadLength exercises the DER stream splitter's
+// length-of-length guard.
+func TestReadElementBadLength(t *testing.T) {
+	blobs := [][]byte{
+		{0x04, 0x85, 1, 2, 3, 4, 5}, // length-of-length 5 > 4
+		{0x04, 0x80},                // length-of-length 0 (indefinite, not DER)
+	}
+	for _, raw := range blobs {
+		lib := validLibrary(t, 1, [][]byte{raw})
+		r, err := NewReader(bytes.NewReader(lib))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.NextBlob(); err == nil || !strings.Contains(err.Error(), "length-of-length") {
+			t.Fatalf("bad length-of-length %#x should be rejected, got: %v", raw[1], err)
+		}
+	}
+}
+
+// TestDecodeMetaGarbage checks non-SEQUENCE header bytes fail cleanly.
+func TestDecodeMetaGarbage(t *testing.T) {
+	b := asn1der.NewBuilder()
+	b.OctetString([]byte("not a header sequence"))
+	if _, err := decodeMeta(b.Bytes()); err == nil {
+		t.Fatal("non-sequence header should fail to decode")
+	}
+	if _, err := decodeMeta(nil); err == nil {
+		t.Fatal("empty header should fail to decode")
+	}
+}

@@ -3,7 +3,6 @@ package livepoint
 import (
 	"fmt"
 	"io"
-	"os"
 	"sync"
 	"time"
 
@@ -63,33 +62,46 @@ func (r *RunResult) fold(wr warm.WindowResult, online *sampling.OnlineEstimator)
 	return online.Add(wr.UnitCPI)
 }
 
-// RunFile runs a sampling experiment over a library file. Points are
-// processed in file order; on a shuffled library this realizes the paper's
+// RunFile runs a sampling experiment over a library file, auto-detecting
+// the format (sequential v1 stream or sharded v2 store). Points are
+// processed in read order; on a shuffled library this realizes the paper's
 // random-order online estimation (§6.1), so the run may stop at any point
 // with a statistically valid estimate.
 func RunFile(path string, opts RunOpts) (*RunResult, error) {
+	src, err := OpenSource(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	return RunSource(src, opts)
+}
+
+// RunSource runs a sampling experiment over any live-point source: a local
+// file, a sharded store, or a remote serving client. Whole-library
+// parallel runs pull from independent shards when the source exposes
+// them; truncated runs (a stopping rule or point cap) stay on the
+// read-order feeder, because draining whole shards processes physically
+// consecutive points together — on an index-reshuffled store those are
+// correlated, and stopping early on such a prefix would bias the
+// estimate.
+func RunSource(src Source, opts RunOpts) (*RunResult, error) {
 	if opts.Z == 0 {
 		opts.Z = sampling.Z997
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	r, err := NewReader(f)
-	if err != nil {
-		return nil, err
-	}
-	if opts.RelErr > 0 && !r.Meta.Shuffled {
-		return nil, fmt.Errorf("livepoint: early stopping requires a shuffled library (run ShuffleFile first)")
+	if opts.RelErr > 0 && !src.Meta().Shuffled {
+		return nil, fmt.Errorf("livepoint: early stopping requires a shuffled library (ShuffleFile for v1 files, lpstore.Shuffle for v2 stores)")
 	}
 	if opts.Parallel > 1 {
-		return runParallel(r, opts)
+		wholeLibrary := opts.RelErr <= 0 && opts.MaxPoints <= 0
+		if ss, ok := src.(ShardedSource); ok && ss.NumShards() > 1 && wholeLibrary {
+			return runSharded(ss, opts)
+		}
+		return runParallel(src, opts)
 	}
-	return runSerial(r, opts)
+	return runSerial(src, opts)
 }
 
-func runSerial(r *Reader, opts RunOpts) (*RunResult, error) {
+func runSerial(src Source, opts RunOpts) (*RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
 	for {
@@ -97,10 +109,14 @@ func runSerial(r *Reader, opts RunOpts) (*RunResult, error) {
 			break
 		}
 		t0 := time.Now()
-		lp, err := r.Next()
+		blob, err := src.NextBlob()
 		if err == io.EOF {
 			break
 		}
+		if err != nil {
+			return nil, err
+		}
+		lp, err := Decode(blob)
 		if err != nil {
 			return nil, err
 		}
@@ -122,19 +138,46 @@ func runSerial(r *Reader, opts RunOpts) (*RunResult, error) {
 	return res, nil
 }
 
+// simOut carries one worker's simulation result to the folding loop.
+type simOut struct {
+	wr  warm.WindowResult
+	err error
+}
+
+// collectOuts folds worker results into the estimate in completion order
+// until outs closes. stop is invoked exactly once: when the stopping rule
+// first fires (relErr > 0), or after the channel drains. It returns the
+// first worker error.
+func collectOuts(outs <-chan simOut, res *RunResult, online *sampling.OnlineEstimator, relErr float64, stop func()) error {
+	var firstErr error
+	stopped := false
+	for out := range outs {
+		if out.err != nil {
+			if firstErr == nil {
+				firstErr = out.err
+			}
+			continue
+		}
+		if res.fold(out.wr, online) && relErr > 0 && !stopped {
+			stopped = true
+			stop()
+		}
+	}
+	if !stopped {
+		stop()
+	}
+	return firstErr
+}
+
 // runParallel fans simulation out over worker goroutines — the paper's
 // parallel live-point processing (§6). The estimate folds results in
 // completion order, which is still an unbiased sample of a shuffled
 // library; unlike serial runs the exact stopping point is scheduling-
 // dependent.
-func runParallel(r *Reader, opts RunOpts) (*RunResult, error) {
+func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
 
-	type simOut struct {
-		wr  warm.WindowResult
-		err error
-	}
 	blobs := make(chan []byte, opts.Parallel)
 	outs := make(chan simOut, opts.Parallel)
 	var wg sync.WaitGroup
@@ -162,7 +205,7 @@ func runParallel(r *Reader, opts RunOpts) (*RunResult, error) {
 			if opts.MaxPoints > 0 && sent >= opts.MaxPoints {
 				return
 			}
-			blob, err := r.NextBlob()
+			blob, err := src.NextBlob()
 			if err == io.EOF {
 				return
 			}
@@ -184,29 +227,80 @@ func runParallel(r *Reader, opts RunOpts) (*RunResult, error) {
 	}()
 
 	t0 := time.Now()
-	var firstErr error
-	stopped := false
-	for out := range outs {
-		if out.err != nil {
-			if firstErr == nil {
-				firstErr = out.err
-			}
-			continue
-		}
-		if res.fold(out.wr, online) && opts.RelErr > 0 && !stopped {
-			stopped = true
-			close(done)
-		}
-	}
-	if !stopped {
-		close(done)
-	}
+	firstErr := collectOuts(outs, res, online, opts.RelErr, func() { close(done) })
 	res.SimTime = time.Since(t0)
 	if firstErr != nil {
 		return nil, firstErr
 	}
 	if feedErr != nil {
 		return nil, feedErr
+	}
+	res.Est = *online.Estimate()
+	res.History = online.History()
+	return res, nil
+}
+
+// runSharded is runParallel for whole-library passes over sharded
+// sources: instead of one feeder goroutine decompressing a shared stream,
+// workers claim whole shards and decompress them concurrently, so load
+// bandwidth scales with Parallel. Every point is processed — RunSource
+// routes truncated runs (stopping rule or point cap) through runParallel,
+// because a shard-major prefix of physically consecutive points is not an
+// unbiased sample.
+func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
+	res := &RunResult{}
+	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
+
+	shardc := make(chan int)
+	outs := make(chan simOut, opts.Parallel)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range shardc {
+				sub, err := ss.OpenShard(s)
+				if err != nil {
+					outs <- simOut{err: err}
+					return
+				}
+				for {
+					blob, err := sub.NextBlob()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						outs <- simOut{err: err}
+						break
+					}
+					lp, err := Decode(blob)
+					if err != nil {
+						outs <- simOut{err: err}
+						continue
+					}
+					wr, err := Simulate(lp, opts.Cfg)
+					outs <- simOut{wr: wr, err: err}
+				}
+				sub.Close()
+			}
+		}()
+	}
+	go func() {
+		defer close(shardc)
+		for s := 0; s < ss.NumShards(); s++ {
+			shardc <- s
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(outs)
+	}()
+
+	t0 := time.Now()
+	firstErr := collectOuts(outs, res, online, 0, func() {})
+	res.SimTime = time.Since(t0)
+	if firstErr != nil {
+		return nil, firstErr
 	}
 	res.Est = *online.Estimate()
 	res.History = online.History()
@@ -241,18 +335,20 @@ type MatchedResult struct {
 // RunMatchedFile measures the same live-points under two configurations and
 // builds a confidence interval directly on the per-unit CPI delta. Both
 // configurations must be reconstructible from the library's stored bounds.
+// The format is auto-detected, as in RunFile.
 func RunMatchedFile(path string, opts MatchedOpts) (*MatchedResult, error) {
-	f, err := os.Open(path)
+	src, err := OpenSource(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	r, err := NewReader(f)
-	if err != nil {
-		return nil, err
-	}
-	if opts.RelErr > 0 && !r.Meta.Shuffled {
-		return nil, fmt.Errorf("livepoint: early stopping requires a shuffled library")
+	defer src.Close()
+	return RunMatchedSource(src, opts)
+}
+
+// RunMatchedSource is RunMatchedFile over any live-point source.
+func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
+	if opts.RelErr > 0 && !src.Meta().Shuffled {
+		return nil, fmt.Errorf("livepoint: early stopping requires a shuffled library (ShuffleFile for v1 files, lpstore.Shuffle for v2 stores)")
 	}
 
 	res := &MatchedResult{}
@@ -261,10 +357,14 @@ func RunMatchedFile(path string, opts MatchedOpts) (*MatchedResult, error) {
 		if opts.MaxPoints > 0 && res.Processed >= opts.MaxPoints {
 			break
 		}
-		lp, err := r.Next()
+		blob, err := src.NextBlob()
 		if err == io.EOF {
 			break
 		}
+		if err != nil {
+			return nil, err
+		}
+		lp, err := Decode(blob)
 		if err != nil {
 			return nil, err
 		}

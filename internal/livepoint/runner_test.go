@@ -1,0 +1,97 @@
+package livepoint
+
+import (
+	"io"
+	"sync/atomic"
+	"testing"
+
+	"livepoints/internal/uarch"
+)
+
+// fakeSharded serves in-memory blobs and records shard opens, so tests
+// can pin down which parallel path RunSource picked.
+type fakeSharded struct {
+	meta   Meta
+	blobs  [][]byte
+	pos    int
+	shards int
+	opens  atomic.Int32
+}
+
+func (f *fakeSharded) Meta() Meta { return f.meta }
+
+func (f *fakeSharded) NextBlob() ([]byte, error) {
+	if f.pos >= len(f.blobs) {
+		return nil, io.EOF
+	}
+	b := f.blobs[f.pos]
+	f.pos++
+	return b, nil
+}
+
+func (f *fakeSharded) Close() error   { return nil }
+func (f *fakeSharded) NumShards() int { return f.shards }
+
+func (f *fakeSharded) OpenShard(s int) (Source, error) {
+	f.opens.Add(1)
+	per := (len(f.blobs) + f.shards - 1) / f.shards
+	lo := s * per
+	hi := lo + per
+	if hi > len(f.blobs) {
+		hi = len(f.blobs)
+	}
+	return &fakeSharded{meta: f.meta, blobs: f.blobs[lo:hi], shards: 1}, nil
+}
+
+// TestRunSourceShardDispatch checks the statistical-safety routing rule:
+// parallel whole-library passes drain shards concurrently, but any
+// truncated run (stopping rule or point cap) must stay on the read-order
+// feeder — a shard-major prefix of physically consecutive points is not
+// an unbiased sample.
+func TestRunSourceShardDispatch(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, design, points := buildTestLibrary(t, "syn.gzip", 0.01, cfg, 20, false)
+	blobs := make([][]byte, len(points))
+	for i, lp := range points {
+		blobs[i], _ = Encode(lp)
+	}
+	meta := Meta{Benchmark: "syn.gzip", Count: len(blobs), UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+	newSrc := func() *fakeSharded {
+		return &fakeSharded{meta: meta, blobs: blobs, shards: 4}
+	}
+
+	// Whole library: the sharded path runs and covers every point.
+	src := newSrc()
+	res, err := RunSource(src, RunOpts{Cfg: cfg, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != len(blobs) {
+		t.Fatalf("whole-library parallel processed %d of %d", res.Processed, len(blobs))
+	}
+	if src.opens.Load() == 0 {
+		t.Fatal("whole-library parallel run should pull from shards")
+	}
+
+	// Point cap: must use the read-order feeder, never shards.
+	src = newSrc()
+	res, err = RunSource(src, RunOpts{Cfg: cfg, Parallel: 4, MaxPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Processed != 5 {
+		t.Fatalf("capped parallel processed %d, want 5", res.Processed)
+	}
+	if n := src.opens.Load(); n != 0 {
+		t.Fatalf("capped parallel run opened %d shards; capped runs must stay in read order", n)
+	}
+
+	// Stopping rule: likewise read-order only.
+	src = newSrc()
+	if _, err = RunSource(src, RunOpts{Cfg: cfg, Parallel: 4, RelErr: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if n := src.opens.Load(); n != 0 {
+		t.Fatalf("early-stopping parallel run opened %d shards; stopping runs must stay in read order", n)
+	}
+}

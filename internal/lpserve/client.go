@@ -1,0 +1,213 @@
+package lpserve
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"livepoints/internal/livepoint"
+	"livepoints/internal/lpstore"
+)
+
+// DefaultBatchPoints is the sequential client's ranged-fetch size.
+const DefaultBatchPoints = 64
+
+// Client talks to one lpserved instance. Its sources implement
+// livepoint.Source and livepoint.ShardedSource, so remote libraries plug
+// into the same runners as local files: serial runs pull ranged batches,
+// parallel runs pull whole shards (stored gzip bytes, decompressed
+// client-side).
+type Client struct {
+	base string
+	hc   *http.Client
+	stat lpstore.Stat
+
+	// BatchPoints is the number of points per ranged /v1/points request
+	// (default DefaultBatchPoints).
+	BatchPoints int
+}
+
+// Dial checks the server is reachable and caches its /v1/stat.
+func Dial(baseURL string) (*Client, error) {
+	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
+	if err := c.getJSON("/v1/stat", &c.stat); err != nil {
+		return nil, fmt.Errorf("lpserve: dialing %s: %w", baseURL, err)
+	}
+	return c, nil
+}
+
+// Stat returns the served library's metadata.
+func (c *Client) Stat() lpstore.Stat { return c.stat }
+
+// Meta returns the served library's metadata as a livepoint.Meta.
+func (c *Client) Meta() livepoint.Meta {
+	return livepoint.Meta{
+		Benchmark: c.stat.Benchmark,
+		Count:     c.stat.Points,
+		UnitLen:   c.stat.UnitLen,
+		WarmLen:   c.stat.WarmLen,
+		Shuffled:  c.stat.Shuffled,
+	}
+}
+
+// Shards fetches the per-shard listing.
+func (c *Client) Shards() ([]ShardStat, error) {
+	var out []ShardStat
+	if err := c.getJSON("/v1/shards", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Source returns a fresh source over the remote library in read order.
+func (c *Client) Source() livepoint.Source { return &remoteSource{c: c} }
+
+func (c *Client) get(path string) (*http.Response, error) {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("lpserve: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	return resp, nil
+}
+
+func (c *Client) getJSON(path string, v any) error {
+	resp, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func (c *Client) batchPoints() int {
+	if c.BatchPoints <= 0 {
+		return DefaultBatchPoints
+	}
+	if c.BatchPoints > MaxBatchPoints {
+		// The server clamps responses to MaxBatchPoints; asking for more
+		// would desynchronize the batch walk.
+		return MaxBatchPoints
+	}
+	return c.BatchPoints
+}
+
+// fetchBatch pulls the blobs at read-order positions [start, start+count)
+// and splits the concatenated DER response.
+func (c *Client) fetchBatch(start, count int) ([][]byte, error) {
+	resp, err := c.get(fmt.Sprintf("/v1/points?start=%d&count=%d", start, count))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReaderSize(resp.Body, 1<<20)
+	blobs := make([][]byte, 0, count)
+	for i := 0; i < count; i++ {
+		b, err := livepoint.ReadElement(br)
+		if err != nil {
+			return nil, fmt.Errorf("lpserve: batch [%d,%d): point %d: %w", start, start+count, i, err)
+		}
+		blobs = append(blobs, b)
+	}
+	return blobs, nil
+}
+
+// remoteSource streams the library sequentially through ranged batches and
+// exposes shards for parallel pulls.
+type remoteSource struct {
+	c   *Client
+	pos int // next read-order position to fetch
+	buf [][]byte
+}
+
+func (s *remoteSource) Meta() livepoint.Meta { return s.c.Meta() }
+
+func (s *remoteSource) NextBlob() ([]byte, error) {
+	if len(s.buf) == 0 {
+		if s.pos >= s.c.stat.Points {
+			return nil, io.EOF
+		}
+		n := s.c.batchPoints()
+		if s.pos+n > s.c.stat.Points {
+			n = s.c.stat.Points - s.pos
+		}
+		blobs, err := s.c.fetchBatch(s.pos, n)
+		if err != nil {
+			return nil, err
+		}
+		s.buf = blobs
+		s.pos += n
+	}
+	b := s.buf[0]
+	s.buf = s.buf[1:]
+	return b, nil
+}
+
+func (s *remoteSource) Close() error {
+	s.buf = nil
+	s.c.hc.CloseIdleConnections()
+	return nil
+}
+
+func (s *remoteSource) NumShards() int { return s.c.stat.Shards }
+
+// OpenShard fetches one shard's read-order index and its stored gzip
+// bytes, inflates them locally, and yields the points — the passthrough
+// fast path: the server does byte copies only.
+func (s *remoteSource) OpenShard(sh int) (livepoint.Source, error) {
+	var spans []lpstore.Span
+	if err := s.c.getJSON(fmt.Sprintf("/v1/shards/%d/index", sh), &spans); err != nil {
+		return nil, err
+	}
+	resp, err := s.c.get(fmt.Sprintf("/v1/shards/%d", sh))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("lpserve: shard %d: %w", sh, err)
+	}
+	defer gz.Close()
+	data, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("lpserve: shard %d: inflating: %w", sh, err)
+	}
+	return &remoteShardSource{meta: s.c.Meta(), data: data, spans: spans}, nil
+}
+
+// remoteShardSource yields one fetched shard's points in read order.
+type remoteShardSource struct {
+	meta  livepoint.Meta
+	data  []byte
+	spans []lpstore.Span
+	pos   int
+}
+
+func (s *remoteShardSource) Meta() livepoint.Meta { return s.meta }
+
+func (s *remoteShardSource) NextBlob() ([]byte, error) {
+	if s.pos >= len(s.spans) {
+		return nil, io.EOF
+	}
+	sp := s.spans[s.pos]
+	if sp.Off < 0 || sp.Off+int64(sp.Len) > int64(len(s.data)) {
+		return nil, fmt.Errorf("lpserve: shard span [%d,%d) exceeds shard length %d", sp.Off, sp.Off+int64(sp.Len), len(s.data))
+	}
+	s.pos++
+	return s.data[sp.Off : sp.Off+int64(sp.Len)], nil
+}
+
+func (s *remoteShardSource) Close() error {
+	s.data = nil
+	return nil
+}

@@ -1,0 +1,332 @@
+package lpserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"livepoints/internal/asn1der"
+	"livepoints/internal/bpred"
+	"livepoints/internal/livepoint"
+	"livepoints/internal/lpstore"
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
+)
+
+// buildRealLibrary creates a small real live-point library and returns the
+// encoded blobs in creation order.
+func buildRealLibrary(t *testing.T, name string, scale float64, stride int) (livepoint.Meta, [][]byte) {
+	t.Helper()
+	cfg := uarch.Config8Way()
+	spec, err := prog.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.Generate(spec, scale)
+	benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), stride, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := livepoint.CreateOpts{MaxHier: cfg.Hier, Preds: []bpred.Config{cfg.BP}}
+	var blobs [][]byte
+	err = livepoint.Create(p, design, opts, func(lp *livepoint.LivePoint) error {
+		b, _ := livepoint.Encode(lp)
+		blobs = append(blobs, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := livepoint.Meta{Benchmark: name, UnitLen: design.UnitLen, WarmLen: design.WarmLen}
+	return meta, blobs
+}
+
+// TestServeParity is the subsystem's acceptance check: the same library
+// must produce a bit-equal Estimate whether simulated from the v1 file,
+// the migrated v2 store, or over lpserve on localhost.
+func TestServeParity(t *testing.T) {
+	cfg := uarch.Config8Way()
+	meta, blobs := buildRealLibrary(t, "syn.gzip", 0.01, 20)
+
+	dir := t.TempDir()
+	v1raw := filepath.Join(dir, "raw.lplib")
+	v1 := filepath.Join(dir, "v1.lplib")
+	v2 := filepath.Join(dir, "v2.lplib")
+	if _, err := livepoint.WriteLibrary(v1raw, meta, blobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := livepoint.ShuffleFile(v1raw, v1, 0x11E9); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lpstore.Migrate(v1, v2, lpstore.WriteOpts{ShardPoints: 5}); err != nil {
+		t.Fatal(err)
+	}
+
+	opts := livepoint.RunOpts{Cfg: cfg}
+	fromV1, err := livepoint.RunFile(v1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromV2, err := livepoint.RunFile(v2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := lpstore.Open(v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	ts := httptest.NewServer(NewServer(st).Handler())
+	defer ts.Close()
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.BatchPoints = 7 // force several ranged fetches
+	fromRemote, err := livepoint.RunSource(client.Source(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if fromV1.Processed != fromV2.Processed || fromV1.Processed != fromRemote.Processed {
+		t.Fatalf("processed: v1 %d, v2 %d, remote %d",
+			fromV1.Processed, fromV2.Processed, fromRemote.Processed)
+	}
+	if !reflect.DeepEqual(fromV1.Est, fromV2.Est) {
+		t.Fatalf("v2 estimate not bit-equal to v1: %.9f vs %.9f", fromV2.Est.Mean(), fromV1.Est.Mean())
+	}
+	if !reflect.DeepEqual(fromV1.Est, fromRemote.Est) {
+		t.Fatalf("remote estimate not bit-equal to v1: %.9f vs %.9f", fromRemote.Est.Mean(), fromV1.Est.Mean())
+	}
+
+	// Parallel runs fold in completion order: same set of points, mean
+	// equal to rounding.
+	parV2, err := livepoint.RunFile(v2, livepoint.RunOpts{Cfg: cfg, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRemote, err := livepoint.RunSource(client.Source(), livepoint.RunOpts{Cfg: cfg, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []*livepoint.RunResult{parV2, parRemote} {
+		if par.Processed != fromV1.Processed {
+			t.Fatalf("parallel processed %d, want %d", par.Processed, fromV1.Processed)
+		}
+		if math.Abs(par.Est.Mean()-fromV1.Est.Mean()) > 1e-12 {
+			t.Fatalf("parallel mean %.12f differs from serial %.12f", par.Est.Mean(), fromV1.Est.Mean())
+		}
+	}
+
+	// Matched-pair over the remote source.
+	exp := cfg
+	exp.Name = "slow-mem"
+	exp.Hier.MemLat = 200
+	mrLocal, err := livepoint.RunMatchedFile(v2, livepoint.MatchedOpts{Base: cfg, Exp: exp, Z: sampling.Z997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mrRemote, err := livepoint.RunMatchedSource(client.Source(), livepoint.MatchedOpts{Base: cfg, Exp: exp, Z: sampling.Z997})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(mrLocal.MP, mrRemote.MP) {
+		t.Fatalf("remote matched pair differs: Δ %.9f vs %.9f", mrRemote.MP.MeanDelta(), mrLocal.MP.MeanDelta())
+	}
+}
+
+// synthStore builds a store of synthetic DER blobs for protocol tests.
+func synthStore(t *testing.T, n, shardPoints int) (*lpstore.Store, [][]byte) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	blobs := make([][]byte, n)
+	for i := range blobs {
+		payload := make([]byte, 50+rng.Intn(200))
+		rng.Read(payload)
+		b := asn1der.NewBuilder()
+		b.OctetString(payload)
+		blobs[i] = b.Bytes()
+	}
+	path := filepath.Join(t.TempDir(), "synth.lplib")
+	meta := livepoint.Meta{Benchmark: "syn.protocol", UnitLen: 10, WarmLen: 20, Shuffled: true}
+	if _, err := lpstore.Write(path, meta, blobs, lpstore.WriteOpts{ShardPoints: shardPoints}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := lpstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st, blobs
+}
+
+func TestEndpoints(t *testing.T) {
+	st, blobs := synthStore(t, 23, 4)
+	ts := httptest.NewServer(NewServer(st).Handler())
+	defer ts.Close()
+
+	// Stat.
+	var stat lpstore.Stat
+	resp, err := http.Get(ts.URL + "/v1/stat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stat); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if stat.Points != 23 || stat.Shards != 6 || !stat.Shuffled || stat.Benchmark != "syn.protocol" {
+		t.Fatalf("stat %+v", stat)
+	}
+
+	// Shard listing.
+	client, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := client.Shards()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) != 6 {
+		t.Fatalf("%d shards, want 6", len(shards))
+	}
+	var totalPoints int
+	for _, sh := range shards {
+		totalPoints += sh.Points
+	}
+	if totalPoints != 23 {
+		t.Fatalf("shards list %d points, want 23", totalPoints)
+	}
+
+	// Ranged fetch with clamping.
+	resp, err = http.Get(ts.URL + "/v1/points?start=20&count=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Lplib-Points"); got != "3" {
+		t.Fatalf("clamped batch returned %s points, want 3", got)
+	}
+	if want := bytes.Join(blobs[20:23], nil); !bytes.Equal(body, want) {
+		t.Fatal("ranged fetch body mismatch")
+	}
+
+	// Error statuses.
+	for path, want := range map[string]int{
+		"/v1/points?start=-1&count=5": http.StatusBadRequest,
+		"/v1/points?start=0&count=0":  http.StatusBadRequest,
+		"/v1/points?start=99&count=1": http.StatusNotFound,
+		"/v1/shards/99":               http.StatusNotFound,
+		"/v1/shards/x":                http.StatusBadRequest,
+		"/v1/shards/99/index":         http.StatusNotFound,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("GET %s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	// Shard passthrough bytes must equal the stored raw bytes.
+	raw, n, err := st.ShardRaw(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := io.ReadAll(raw)
+	if err != nil || int64(len(want)) != n {
+		t.Fatalf("raw shard read: %d bytes, %v", len(want), err)
+	}
+	resp, err = http.Get(ts.URL + "/v1/shards/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Equal(got, want) {
+		t.Fatal("shard endpoint did not pass stored gzip bytes through verbatim")
+	}
+
+	// Client shard source covers all points exactly once, in read order.
+	src := client.Source().(livepoint.ShardedSource)
+	var count int
+	for s := 0; s < src.NumShards(); s++ {
+		sub, err := src.OpenShard(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for {
+			b, err := sub.NextBlob()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(b) == 0 {
+				t.Fatal("empty blob from shard source")
+			}
+			count++
+		}
+		sub.Close()
+	}
+	if count != 23 {
+		t.Fatalf("shard sources yielded %d points, want 23", count)
+	}
+}
+
+// TestGracefulShutdown starts a real listener, serves one request, and
+// checks Shutdown drains cleanly.
+func TestGracefulShutdown(t *testing.T) {
+	st, _ := synthStore(t, 8, 4)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st)
+	served := make(chan error, 1)
+	go func() { served <- srv.Serve(l) }()
+
+	client, err := Dial("http://" + l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if client.Stat().Points != 8 {
+		t.Fatalf("stat over real listener: %+v", client.Stat())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-served:
+		if err != nil {
+			t.Fatalf("Serve returned %v after graceful shutdown", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Shutdown")
+	}
+}

@@ -1,0 +1,193 @@
+// Package lpserve streams live-points from a sharded v2 store
+// (internal/lpstore) to remote simulation workers over HTTP — the serving
+// half of the scale-out story: one lpserved process owns the library file;
+// fleets of lpsim workers pull points or whole shards on demand.
+//
+// Wire surface (all under /v1):
+//
+//	GET /v1/stat              library metadata (JSON lpstore.Stat)
+//	GET /v1/shards            per-shard listing (JSON []ShardStat)
+//	GET /v1/shards/{id}       one shard's stored gzip bytes, verbatim —
+//	                          the store's compression passes straight
+//	                          through; the server never recompresses
+//	GET /v1/shards/{id}/index the shard's read order as (off,len) spans
+//	                          into its uncompressed stream (JSON []Span)
+//	GET /v1/points?start=&count=
+//	                          ranged batch fetch: concatenated DER blobs
+//	                          at read-order positions [start,start+count)
+//
+// Point blobs are self-delimiting DER elements, so batch responses need no
+// framing; clients split them with livepoint.ReadElement.
+package lpserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+
+	"livepoints/internal/lpstore"
+)
+
+// ShardStat describes one shard in the /v1/shards listing.
+type ShardStat struct {
+	ID                int   `json:"id"`
+	Points            int   `json:"points"`
+	CompressedBytes   int64 `json:"compressedBytes"`
+	UncompressedBytes int64 `json:"uncompressedBytes"`
+}
+
+// MaxBatchPoints caps a single /v1/points response.
+const MaxBatchPoints = 4096
+
+// Server serves one live-point store over HTTP.
+type Server struct {
+	st  *lpstore.Store
+	mux *http.ServeMux
+	hs  *http.Server
+}
+
+// NewServer builds a server over an open store. The store must outlive the
+// server.
+func NewServer(st *lpstore.Store) *Server {
+	s := &Server{st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/stat", s.handleStat)
+	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
+	s.mux.HandleFunc("GET /v1/shards/{id}", s.handleShardData)
+	s.mux.HandleFunc("GET /v1/shards/{id}/index", s.handleShardIndex)
+	s.mux.HandleFunc("GET /v1/points", s.handlePoints)
+	return s
+}
+
+// Handler returns the routing handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve accepts connections on l until Shutdown. It returns nil after a
+// graceful shutdown.
+func (s *Server) Serve(l net.Listener) error {
+	s.hs = &http.Server{Handler: s.mux}
+	if err := s.hs.Serve(l); err != nil && err != http.ErrServerClosed {
+		return err
+	}
+	return nil
+}
+
+// Shutdown drains in-flight requests and stops the server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.hs == nil {
+		return nil
+	}
+	return s.hs.Shutdown(ctx)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleStat(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.st.Stat())
+}
+
+func (s *Server) handleShards(w http.ResponseWriter, r *http.Request) {
+	out := make([]ShardStat, s.st.NumShards())
+	for i := range out {
+		points, comp, uncomp, err := s.st.ShardStat(i)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out[i] = ShardStat{ID: i, Points: points, CompressedBytes: comp, UncompressedBytes: uncomp}
+	}
+	writeJSON(w, out)
+}
+
+// shardID parses and range-checks the {id} path value.
+func (s *Server) shardID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		http.Error(w, "bad shard id", http.StatusBadRequest)
+		return 0, false
+	}
+	if id < 0 || id >= s.st.NumShards() {
+		http.Error(w, fmt.Sprintf("shard %d out of range [0,%d)", id, s.st.NumShards()), http.StatusNotFound)
+		return 0, false
+	}
+	return id, true
+}
+
+func (s *Server) handleShardData(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.shardID(w, r)
+	if !ok {
+		return
+	}
+	raw, n, err := s.st.ShardRaw(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	points, _, uncomp, _ := s.st.ShardStat(id)
+	w.Header().Set("Content-Type", "application/gzip")
+	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
+	w.Header().Set("X-Lplib-Shard-Points", strconv.Itoa(points))
+	w.Header().Set("X-Lplib-Shard-Uncompressed", strconv.FormatInt(uncomp, 10))
+	io.Copy(w, raw)
+}
+
+func (s *Server) handleShardIndex(w http.ResponseWriter, r *http.Request) {
+	id, ok := s.shardID(w, r)
+	if !ok {
+		return
+	}
+	spans, err := s.st.ShardReadOrder(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, spans)
+}
+
+func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	start, err := strconv.Atoi(q.Get("start"))
+	if err != nil || start < 0 {
+		http.Error(w, "bad start", http.StatusBadRequest)
+		return
+	}
+	count, err := strconv.Atoi(q.Get("count"))
+	if err != nil || count <= 0 {
+		http.Error(w, "bad count", http.StatusBadRequest)
+		return
+	}
+	if count > MaxBatchPoints {
+		count = MaxBatchPoints
+	}
+	total := s.st.Count()
+	if start >= total {
+		http.Error(w, fmt.Sprintf("start %d beyond library end %d", start, total), http.StatusNotFound)
+		return
+	}
+	if start+count > total {
+		count = total - start
+	}
+	blobs, err := s.st.Blobs(start, count)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var n int
+	for _, b := range blobs {
+		n += len(b)
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(n))
+	w.Header().Set("X-Lplib-Points", strconv.Itoa(count))
+	for _, b := range blobs {
+		if _, err := w.Write(b); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,678 @@
+// Package lpstore implements the sharded live-point library format (v2)
+// and its random-access store.
+//
+// The v1 format (internal/livepoint) is one sequential gzip stream: random
+// access is impossible, shuffling rewrites the whole file, and parallel
+// runners funnel every worker through a single decompressor. Format v2
+// keeps the same DER point encoding but splits the library into N
+// independently-gzipped shards followed by an uncompressed footer index:
+//
+//	offset 0   magic "LPLIBv2\n"
+//	           shard 0 gzip stream | shard 1 gzip stream | ...
+//	           index (ASN.1 DER, uncompressed)
+//	EOF-16     index length (uint64 LE) | trailer magic "LPIDXv2\n"
+//
+// The index records, per shard, its file offset and compressed/uncompressed
+// lengths; per point, its shard and (offset, length) within the shard's
+// uncompressed stream; and the library read order as a permutation of
+// point ids. That buys:
+//
+//   - O(shard) random access to any point, O(1) to its location;
+//   - index-only shuffling: Shuffle permutes the footer and never touches
+//     point data (v1 ShuffleFile rewrites and recompresses everything);
+//   - concurrent reads: shards decompress independently, so parallel
+//     runners scale their load bandwidth with worker count;
+//   - remote serving: internal/lpserve streams stored shard bytes to
+//     clients verbatim, with no server-side recompression.
+//
+// The store registers itself with livepoint.RegisterFormat, so
+// livepoint.RunFile and OpenSource transparently accept v2 files wherever
+// a v1 path was accepted before.
+package lpstore
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+
+	"livepoints/internal/asn1der"
+	"livepoints/internal/livepoint"
+)
+
+const (
+	fileMagic    = "LPLIBv2\n" // first 8 bytes of a v2 library
+	trailerMagic = "LPIDXv2\n" // last 8 bytes of a v2 library
+	idxMagic     = "livepoint-library-v2"
+
+	// DefaultShardPoints is the default number of points per shard: small
+	// enough that a 4-worker run on a few hundred points still sees many
+	// shards, large enough that gzip retains cross-point redundancy.
+	DefaultShardPoints = 64
+
+	trailerLen     = 16 // index length (8) + trailer magic (8)
+	shardRecordLen = 28 // dataOff u64 | compLen u64 | uncompLen u64 | points u32
+	pointRecordLen = 16 // shard u32 | off u64 | len u32
+)
+
+// shardInfo locates one shard's compressed bytes and describes its
+// contents.
+type shardInfo struct {
+	dataOff   int64 // absolute file offset of the gzip stream
+	compLen   int64
+	uncompLen int64
+	points    int
+}
+
+// pointInfo locates one point inside its shard's uncompressed stream.
+type pointInfo struct {
+	shard int
+	off   int64
+	len   int
+}
+
+// Span is a point's (offset, length) within its shard's uncompressed
+// stream.
+type Span struct {
+	Off int64 `json:"off"`
+	Len int   `json:"len"`
+}
+
+// Info summarizes a written v2 library.
+type Info struct {
+	Points            int
+	Shards            int
+	CompressedBytes   int64 // whole file, index included
+	UncompressedBytes int64 // sum of encoded point sizes
+}
+
+// Stat describes an open store (the serving /v1/stat payload).
+type Stat struct {
+	Benchmark         string `json:"benchmark"`
+	Points            int    `json:"points"`
+	UnitLen           uint64 `json:"unitLen"`
+	WarmLen           uint64 `json:"warmLen"`
+	Shuffled          bool   `json:"shuffled"`
+	Shards            int    `json:"shards"`
+	CompressedBytes   int64  `json:"compressedBytes"`
+	UncompressedBytes int64  `json:"uncompressedBytes"`
+}
+
+// Store is an open sharded live-point library. It is safe for concurrent
+// readers: file access uses positioned reads and shared metadata is
+// immutable after Open.
+type Store struct {
+	path string
+	f    *os.File // nil for in-memory (migrated-on-open v1) stores
+	mem  [][]byte // per-shard compressed bytes when f == nil
+
+	meta         livepoint.Meta
+	uncompressed int64
+	shards       []shardInfo
+	points       []pointInfo // indexed by physical point id (storage order)
+	order        []uint32    // read position -> physical point id
+
+	shardOrderOnce sync.Once
+	shardOrder     [][]uint32 // per shard: physical ids in read order
+}
+
+// IsV2 reports whether path begins with the v2 library magic.
+func IsV2(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false, nil // too short to be v2; not an error here
+	}
+	return string(magic[:]) == fileMagic, nil
+}
+
+// Open opens a v2 library file. Opening a v1 file fails with a message
+// pointing at Migrate/OpenAny.
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := openFile(f, path)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+func openFile(f *os.File, path string) (*Store, error) {
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("lpstore: %s: reading magic: %w", path, err)
+	}
+	if string(magic[:]) != fileMagic {
+		if magic[0] == 0x1f && magic[1] == 0x8b {
+			return nil, fmt.Errorf("lpstore: %s is a v1 (sequential gzip) library; migrate it with lpstore.Migrate or open it with lpstore.OpenAny", path)
+		}
+		return nil, fmt.Errorf("lpstore: %s is not a live-point library (magic %q)", path, magic)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := fi.Size()
+	if size < int64(len(fileMagic))+trailerLen {
+		return nil, fmt.Errorf("lpstore: %s: file too short for a v2 library", path)
+	}
+	var trailer [trailerLen]byte
+	if _, err := f.ReadAt(trailer[:], size-trailerLen); err != nil {
+		return nil, fmt.Errorf("lpstore: %s: reading trailer: %w", path, err)
+	}
+	if string(trailer[8:]) != trailerMagic {
+		return nil, fmt.Errorf("lpstore: %s: bad trailer magic %q (truncated or corrupt library)", path, trailer[8:])
+	}
+	idxLen := int64(binary.LittleEndian.Uint64(trailer[:8]))
+	idxOff := size - trailerLen - idxLen
+	if idxLen <= 0 || idxOff < int64(len(fileMagic)) {
+		return nil, fmt.Errorf("lpstore: %s: implausible index length %d", path, idxLen)
+	}
+	idx := make([]byte, idxLen)
+	if _, err := f.ReadAt(idx, idxOff); err != nil {
+		return nil, fmt.Errorf("lpstore: %s: reading index: %w", path, err)
+	}
+	st := &Store{path: path, f: f}
+	if err := st.decodeIndex(idx); err != nil {
+		return nil, fmt.Errorf("lpstore: %s: %w", path, err)
+	}
+	return st, nil
+}
+
+// Close releases the store's file handle. In-memory stores are a no-op.
+func (st *Store) Close() error {
+	if st.f == nil {
+		return nil
+	}
+	return st.f.Close()
+}
+
+// Path returns the file path the store was opened from ("" for in-memory
+// stores).
+func (st *Store) Path() string { return st.path }
+
+// Meta returns the library metadata.
+func (st *Store) Meta() livepoint.Meta { return st.meta }
+
+// Count returns the number of points.
+func (st *Store) Count() int { return st.meta.Count }
+
+// NumShards returns the number of shards.
+func (st *Store) NumShards() int { return len(st.shards) }
+
+// UncompressedBytes returns the summed encoded point sizes.
+func (st *Store) UncompressedBytes() int64 { return st.uncompressed }
+
+// CompressedBytes returns the summed compressed shard sizes.
+func (st *Store) CompressedBytes() int64 {
+	var n int64
+	for _, sh := range st.shards {
+		n += sh.compLen
+	}
+	return n
+}
+
+// Stat summarizes the store.
+func (st *Store) Stat() Stat {
+	return Stat{
+		Benchmark:         st.meta.Benchmark,
+		Points:            st.meta.Count,
+		UnitLen:           st.meta.UnitLen,
+		WarmLen:           st.meta.WarmLen,
+		Shuffled:          st.meta.Shuffled,
+		Shards:            len(st.shards),
+		CompressedBytes:   st.CompressedBytes(),
+		UncompressedBytes: st.uncompressed,
+	}
+}
+
+// Order returns a copy of the read-order permutation: Order()[i] is the
+// physical id of the i-th point a sequential reader sees.
+func (st *Store) Order() []int {
+	out := make([]int, len(st.order))
+	for i, p := range st.order {
+		out[i] = int(p)
+	}
+	return out
+}
+
+// ShardStat returns one shard's point count and compressed/uncompressed
+// byte sizes.
+func (st *Store) ShardStat(s int) (points int, compLen, uncompLen int64, err error) {
+	if s < 0 || s >= len(st.shards) {
+		return 0, 0, 0, fmt.Errorf("lpstore: shard %d out of range [0,%d)", s, len(st.shards))
+	}
+	sh := st.shards[s]
+	return sh.points, sh.compLen, sh.uncompLen, nil
+}
+
+// ShardRaw returns a reader over one shard's stored gzip bytes and their
+// length — the serving layer streams these verbatim (no recompression).
+func (st *Store) ShardRaw(s int) (io.Reader, int64, error) {
+	if s < 0 || s >= len(st.shards) {
+		return nil, 0, fmt.Errorf("lpstore: shard %d out of range [0,%d)", s, len(st.shards))
+	}
+	sh := st.shards[s]
+	if st.f == nil {
+		return bytes.NewReader(st.mem[s]), sh.compLen, nil
+	}
+	return io.NewSectionReader(st.f, sh.dataOff, sh.compLen), sh.compLen, nil
+}
+
+// DecompressShard inflates one shard into memory and returns its
+// uncompressed bytes (every point blob, concatenated in storage order).
+func (st *Store) DecompressShard(s int) ([]byte, error) {
+	raw, _, err := st.ShardRaw(s)
+	if err != nil {
+		return nil, err
+	}
+	gz, err := gzip.NewReader(raw)
+	if err != nil {
+		return nil, fmt.Errorf("lpstore: shard %d: %w", s, err)
+	}
+	defer gz.Close()
+	data := make([]byte, st.shards[s].uncompLen)
+	if _, err := io.ReadFull(gz, data); err != nil {
+		return nil, fmt.Errorf("lpstore: shard %d: inflating: %w", s, err)
+	}
+	return data, nil
+}
+
+// buildShardOrder partitions the read-order permutation by shard, once.
+func (st *Store) buildShardOrder() {
+	st.shardOrderOnce.Do(func() {
+		st.shardOrder = make([][]uint32, len(st.shards))
+		for _, phys := range st.order {
+			s := st.points[phys].shard
+			st.shardOrder[s] = append(st.shardOrder[s], phys)
+		}
+	})
+}
+
+// ShardReadOrder returns shard s's points as (offset, length) spans within
+// the shard's uncompressed stream, in the library's read order restricted
+// to that shard.
+func (st *Store) ShardReadOrder(s int) ([]Span, error) {
+	if s < 0 || s >= len(st.shards) {
+		return nil, fmt.Errorf("lpstore: shard %d out of range [0,%d)", s, len(st.shards))
+	}
+	st.buildShardOrder()
+	spans := make([]Span, len(st.shardOrder[s]))
+	for i, phys := range st.shardOrder[s] {
+		p := st.points[phys]
+		spans[i] = Span{Off: p.off, Len: p.len}
+	}
+	return spans, nil
+}
+
+// PointBlob returns the encoded live-point at read-order position i. Cost
+// is one shard decompression; batch readers should prefer Blobs, Source,
+// or per-shard sources, which amortize it.
+func (st *Store) PointBlob(i int) ([]byte, error) {
+	if i < 0 || i >= len(st.order) {
+		return nil, fmt.Errorf("lpstore: point %d out of range [0,%d)", i, len(st.order))
+	}
+	p := st.points[st.order[i]]
+	data, err := st.DecompressShard(p.shard)
+	if err != nil {
+		return nil, err
+	}
+	return data[p.off : p.off+int64(p.len)], nil
+}
+
+// Blobs returns the encoded points at read-order positions [start,
+// start+count), decompressing each touched shard once.
+func (st *Store) Blobs(start, count int) ([][]byte, error) {
+	if start < 0 || count < 0 || start+count > len(st.order) {
+		return nil, fmt.Errorf("lpstore: range [%d,%d) out of [0,%d)", start, start+count, len(st.order))
+	}
+	cache := make(map[int][]byte)
+	out := make([][]byte, count)
+	for i := 0; i < count; i++ {
+		p := st.points[st.order[start+i]]
+		data, ok := cache[p.shard]
+		if !ok {
+			var err error
+			if data, err = st.DecompressShard(p.shard); err != nil {
+				return nil, err
+			}
+			cache[p.shard] = data
+		}
+		out[i] = data[p.off : p.off+int64(p.len)]
+	}
+	return out, nil
+}
+
+// Source returns a sequential livepoint.Source over the whole store in
+// read order. The returned source also implements livepoint.ShardedSource,
+// so parallel runners pull shards concurrently. Closing it does not close
+// the store.
+func (st *Store) Source() livepoint.Source {
+	return &storeSource{st: st, cache: newShardCache(st, 4)}
+}
+
+// storeSource walks the store in read order through a small decompressed-
+// shard cache (creation-time shuffled libraries read shard-major, so the
+// cache usually holds one live shard; index-reshuffled ones may revisit).
+type storeSource struct {
+	st       *Store
+	pos      int
+	cache    *shardCache
+	ownStore bool
+}
+
+func (s *storeSource) Meta() livepoint.Meta { return s.st.meta }
+
+func (s *storeSource) NextBlob() ([]byte, error) {
+	if s.pos >= len(s.st.order) {
+		return nil, io.EOF
+	}
+	p := s.st.points[s.st.order[s.pos]]
+	data, err := s.cache.get(p.shard)
+	if err != nil {
+		return nil, err
+	}
+	s.pos++
+	return data[p.off : p.off+int64(p.len)], nil
+}
+
+func (s *storeSource) Close() error {
+	s.cache = newShardCache(s.st, 4)
+	if s.ownStore {
+		return s.st.Close()
+	}
+	return nil
+}
+
+func (s *storeSource) NumShards() int { return s.st.NumShards() }
+
+func (s *storeSource) OpenShard(sh int) (livepoint.Source, error) {
+	if sh < 0 || sh >= s.st.NumShards() {
+		return nil, fmt.Errorf("lpstore: shard %d out of range [0,%d)", sh, s.st.NumShards())
+	}
+	data, err := s.st.DecompressShard(sh)
+	if err != nil {
+		return nil, err
+	}
+	s.st.buildShardOrder()
+	return &shardSource{st: s.st, data: data, ids: s.st.shardOrder[sh]}, nil
+}
+
+// shardSource yields one decompressed shard's points in read order.
+type shardSource struct {
+	st   *Store
+	data []byte
+	ids  []uint32
+	pos  int
+}
+
+func (s *shardSource) Meta() livepoint.Meta { return s.st.meta }
+
+func (s *shardSource) NextBlob() ([]byte, error) {
+	if s.pos >= len(s.ids) {
+		return nil, io.EOF
+	}
+	p := s.st.points[s.ids[s.pos]]
+	s.pos++
+	return s.data[p.off : p.off+int64(p.len)], nil
+}
+
+func (s *shardSource) Close() error {
+	s.data = nil
+	return nil
+}
+
+// shardCache holds up to cap decompressed shards, FIFO-evicted.
+type shardCache struct {
+	st   *Store
+	cap  int
+	m    map[int][]byte
+	fifo []int
+}
+
+func newShardCache(st *Store, capacity int) *shardCache {
+	return &shardCache{st: st, cap: capacity, m: make(map[int][]byte)}
+}
+
+func (c *shardCache) get(s int) ([]byte, error) {
+	if data, ok := c.m[s]; ok {
+		return data, nil
+	}
+	data, err := c.st.DecompressShard(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.fifo) >= c.cap {
+		delete(c.m, c.fifo[0])
+		c.fifo = c.fifo[1:]
+	}
+	c.m[s] = data
+	c.fifo = append(c.fifo, s)
+	return data, nil
+}
+
+// Shuffle rewrites a v2 library's read order in place, deterministically
+// from seed: only the footer index is rewritten; shard data is untouched.
+// Contrast with v1 ShuffleFile, which decompresses, permutes, and
+// recompresses the whole library.
+func Shuffle(path string, seed int64) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := openFile(f, path)
+	if err != nil {
+		return err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(st.order), func(i, j int) {
+		st.order[i], st.order[j] = st.order[j], st.order[i]
+	})
+	st.meta.Shuffled = true
+
+	idx := st.encodeIndex()
+	idxOff := fi.Size() - trailerLen - indexLenAt(f, fi.Size())
+	if err := f.Truncate(idxOff); err != nil {
+		return err
+	}
+	if _, err := f.WriteAt(appendTrailer(idx), idxOff); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// indexLenAt re-reads the stored index length (openFile already validated
+// the trailer).
+func indexLenAt(f *os.File, size int64) int64 {
+	var trailer [trailerLen]byte
+	f.ReadAt(trailer[:], size-trailerLen)
+	return int64(binary.LittleEndian.Uint64(trailer[:8]))
+}
+
+// appendTrailer suffixes an encoded index with its length and the trailer
+// magic.
+func appendTrailer(idx []byte) []byte {
+	out := make([]byte, len(idx)+trailerLen)
+	copy(out, idx)
+	binary.LittleEndian.PutUint64(out[len(idx):], uint64(len(idx)))
+	copy(out[len(idx)+8:], trailerMagic)
+	return out
+}
+
+// encodeIndex serializes the footer index.
+func (st *Store) encodeIndex() []byte {
+	b := asn1der.NewBuilder()
+	b.Sequence(func(b *asn1der.Builder) {
+		b.UTF8String(idxMagic)
+		b.UTF8String(st.meta.Benchmark)
+		b.Uint64(uint64(st.meta.Count))
+		b.Uint64(st.meta.UnitLen)
+		b.Uint64(st.meta.WarmLen)
+		b.Bool(st.meta.Shuffled)
+		b.Uint64(uint64(st.uncompressed))
+
+		shards := make([]byte, shardRecordLen*len(st.shards))
+		for i, sh := range st.shards {
+			rec := shards[i*shardRecordLen:]
+			binary.LittleEndian.PutUint64(rec, uint64(sh.dataOff))
+			binary.LittleEndian.PutUint64(rec[8:], uint64(sh.compLen))
+			binary.LittleEndian.PutUint64(rec[16:], uint64(sh.uncompLen))
+			binary.LittleEndian.PutUint32(rec[24:], uint32(sh.points))
+		}
+		b.OctetString(shards)
+
+		points := make([]byte, pointRecordLen*len(st.points))
+		for i, p := range st.points {
+			rec := points[i*pointRecordLen:]
+			binary.LittleEndian.PutUint32(rec, uint32(p.shard))
+			binary.LittleEndian.PutUint64(rec[4:], uint64(p.off))
+			binary.LittleEndian.PutUint32(rec[12:], uint32(p.len))
+		}
+		b.OctetString(points)
+
+		order := make([]byte, 4*len(st.order))
+		for i, p := range st.order {
+			binary.LittleEndian.PutUint32(order[i*4:], p)
+		}
+		b.OctetString(order)
+	})
+	return b.Bytes()
+}
+
+// decodeIndex parses the footer index into the store and validates its
+// internal consistency.
+func (st *Store) decodeIndex(buf []byte) error {
+	d, err := asn1der.NewDecoder(buf).Sequence()
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	magic, err := d.UTF8String()
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	if magic != idxMagic {
+		return fmt.Errorf("index magic %q, want %q", magic, idxMagic)
+	}
+	if st.meta.Benchmark, err = d.UTF8String(); err != nil {
+		return err
+	}
+	count, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	st.meta.Count = int(count)
+	if st.meta.UnitLen, err = d.Uint64(); err != nil {
+		return err
+	}
+	if st.meta.WarmLen, err = d.Uint64(); err != nil {
+		return err
+	}
+	if st.meta.Shuffled, err = d.Bool(); err != nil {
+		return err
+	}
+	uncompressed, err := d.Uint64()
+	if err != nil {
+		return err
+	}
+	st.uncompressed = int64(uncompressed)
+
+	shards, err := d.OctetString()
+	if err != nil {
+		return err
+	}
+	if len(shards)%shardRecordLen != 0 {
+		return fmt.Errorf("shard table length %d not a multiple of %d", len(shards), shardRecordLen)
+	}
+	st.shards = make([]shardInfo, len(shards)/shardRecordLen)
+	for i := range st.shards {
+		rec := shards[i*shardRecordLen:]
+		st.shards[i] = shardInfo{
+			dataOff:   int64(binary.LittleEndian.Uint64(rec)),
+			compLen:   int64(binary.LittleEndian.Uint64(rec[8:])),
+			uncompLen: int64(binary.LittleEndian.Uint64(rec[16:])),
+			points:    int(binary.LittleEndian.Uint32(rec[24:])),
+		}
+	}
+
+	points, err := d.OctetString()
+	if err != nil {
+		return err
+	}
+	if len(points)%pointRecordLen != 0 {
+		return fmt.Errorf("point table length %d not a multiple of %d", len(points), pointRecordLen)
+	}
+	st.points = make([]pointInfo, len(points)/pointRecordLen)
+	for i := range st.points {
+		rec := points[i*pointRecordLen:]
+		st.points[i] = pointInfo{
+			shard: int(binary.LittleEndian.Uint32(rec)),
+			off:   int64(binary.LittleEndian.Uint64(rec[4:])),
+			len:   int(binary.LittleEndian.Uint32(rec[12:])),
+		}
+	}
+
+	orderBytes, err := d.OctetString()
+	if err != nil {
+		return err
+	}
+	if len(orderBytes)%4 != 0 {
+		return fmt.Errorf("order table length %d not a multiple of 4", len(orderBytes))
+	}
+	st.order = make([]uint32, len(orderBytes)/4)
+	for i := range st.order {
+		st.order[i] = binary.LittleEndian.Uint32(orderBytes[i*4:])
+	}
+	return st.validate()
+}
+
+// validate cross-checks the decoded index.
+func (st *Store) validate() error {
+	if len(st.points) != st.meta.Count {
+		return fmt.Errorf("index declares %d points, point table has %d", st.meta.Count, len(st.points))
+	}
+	if len(st.order) != st.meta.Count {
+		return fmt.Errorf("order table has %d entries for %d points", len(st.order), st.meta.Count)
+	}
+	perShard := make([]int, len(st.shards))
+	for i, p := range st.points {
+		if p.shard < 0 || p.shard >= len(st.shards) {
+			return fmt.Errorf("point %d in shard %d of %d", i, p.shard, len(st.shards))
+		}
+		if p.off < 0 || p.len < 0 || p.off+int64(p.len) > st.shards[p.shard].uncompLen {
+			return fmt.Errorf("point %d span [%d,%d) exceeds shard %d length %d",
+				i, p.off, p.off+int64(p.len), p.shard, st.shards[p.shard].uncompLen)
+		}
+		perShard[p.shard]++
+	}
+	for s, n := range perShard {
+		if n != st.shards[s].points {
+			return fmt.Errorf("shard %d declares %d points, point table has %d", s, st.shards[s].points, n)
+		}
+	}
+	seen := make([]bool, st.meta.Count)
+	for _, p := range st.order {
+		if int(p) >= st.meta.Count || seen[p] {
+			return fmt.Errorf("order table is not a permutation of [0,%d)", st.meta.Count)
+		}
+		seen[p] = true
+	}
+	return nil
+}

@@ -18,15 +18,23 @@
 //	})
 //	fmt.Printf("CPI = %.3f ±%.1f%%\n", res.Est.Mean(), 100*res.Est.RelCI(livepoints.Z997))
 //
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-versus-measured results.
+// Libraries are written in the sharded v2 format (internal/lpstore) and
+// can be served to remote workers over HTTP (internal/lpserve, cmd
+// lpserved); Run auto-detects v2 stores, legacy v1 single-stream files,
+// and — via RunSource and Connect — remote libraries.
+//
+// See DESIGN.md for the package layout and the storage/serving
+// architecture.
 package livepoints
 
 import (
 	"fmt"
+	"math/rand"
 
 	"livepoints/internal/bpred"
 	"livepoints/internal/livepoint"
+	"livepoints/internal/lpserve"
+	"livepoints/internal/lpstore"
 	"livepoints/internal/mrrl"
 	"livepoints/internal/prog"
 	"livepoints/internal/sampling"
@@ -66,6 +74,11 @@ type (
 	PredictorConfig = bpred.Config
 	// WindowResult is the outcome of one simulated detailed window.
 	WindowResult = warm.WindowResult
+	// Source supplies encoded live-points to runners: a local file of
+	// either format, an open v2 store, or a remote serving client.
+	Source = livepoint.Source
+	// RemoteLibrary is a client connection to an lpserved instance.
+	RemoteLibrary = lpserve.Client
 )
 
 // Z997 is the paper's confidence level: three-sigma (99.7 %).
@@ -122,9 +135,15 @@ func NewDesignFor(p *Program, cfg Config, maxPoints int) (Design, error) {
 type LibraryInfo struct {
 	Path              string
 	Points            int
+	Shards            int // 0 for legacy v1 libraries
 	CompressedBytes   int64
 	UncompressedBytes int64
 }
+
+// shuffleSeed is the deterministic creation-time shuffle seed (§6.1); it
+// matches the seed the legacy ShuffleFile pipeline used, so estimates are
+// reproducible across format versions.
+const shuffleSeed = 0x11E9_0147
 
 // CreateLibrary runs the one-time creation pass for a benchmark and writes
 // a shuffled live-point library to path. The library stores cache/TLB state
@@ -137,14 +156,37 @@ func CreateLibrary(p *Program, design Design, cfg Config, path string) (LibraryI
 	}, path)
 }
 
-// CreateLibraryOpts is CreateLibrary with full control over captured state.
+// CreateLibraryOpts is CreateLibrary with full control over captured
+// state. Libraries are written in the sharded v2 format: points are
+// shuffled once at creation (so shard-major reads are already in random
+// order) and the footer index supports O(1) random access, index-only
+// reshuffling (lpstore.Shuffle), and concurrent per-shard reads.
 func CreateLibraryOpts(p *Program, design Design, opts CreateOpts, path string) (LibraryInfo, error) {
-	var blobs [][]byte
-	err := livepoint.Create(p, design, opts, func(lp *LivePoint) error {
-		blob, _ := livepoint.Encode(lp)
-		blobs = append(blobs, blob)
-		return nil
-	})
+	blobs, err := createBlobs(p, design, opts)
+	if err != nil {
+		return LibraryInfo{}, err
+	}
+	rng := rand.New(rand.NewSource(shuffleSeed))
+	rng.Shuffle(len(blobs), func(i, j int) { blobs[i], blobs[j] = blobs[j], blobs[i] })
+	meta := livepoint.Meta{Benchmark: p.Name, UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+	info, err := lpstore.Write(path, meta, blobs, lpstore.WriteOpts{})
+	if err != nil {
+		return LibraryInfo{}, err
+	}
+	return LibraryInfo{
+		Path:              path,
+		Points:            info.Points,
+		Shards:            info.Shards,
+		CompressedBytes:   info.CompressedBytes,
+		UncompressedBytes: info.UncompressedBytes,
+	}, nil
+}
+
+// CreateLibraryLegacy writes a library in the sequential single-stream v1
+// format, for compatibility experiments and migration testing. New
+// libraries should use CreateLibraryOpts.
+func CreateLibraryLegacy(p *Program, design Design, opts CreateOpts, path string) (LibraryInfo, error) {
+	blobs, err := createBlobs(p, design, opts)
 	if err != nil {
 		return LibraryInfo{}, err
 	}
@@ -154,7 +196,7 @@ func CreateLibraryOpts(p *Program, design Design, opts CreateOpts, path string) 
 	if err != nil {
 		return LibraryInfo{}, err
 	}
-	if err := livepoint.ShuffleFile(tmp, path, 0x11E9_0147); err != nil {
+	if err := livepoint.ShuffleFile(tmp, path, shuffleSeed); err != nil {
 		return LibraryInfo{}, err
 	}
 	size, err := livepoint.FileSize(path)
@@ -167,16 +209,51 @@ func CreateLibraryOpts(p *Program, design Design, opts CreateOpts, path string) 
 	return LibraryInfo{Path: path, Points: len(blobs), CompressedBytes: size, UncompressedBytes: uncompressed}, nil
 }
 
-// Run executes a sampling experiment over a library file (see RunOpts for
-// stopping rules, parallelism and online history).
+func createBlobs(p *Program, design Design, opts CreateOpts) ([][]byte, error) {
+	var blobs [][]byte
+	err := livepoint.Create(p, design, opts, func(lp *LivePoint) error {
+		blob, _ := livepoint.Encode(lp)
+		blobs = append(blobs, blob)
+		return nil
+	})
+	return blobs, err
+}
+
+// MigrateLibrary converts a legacy v1 library into the sharded v2 format,
+// preserving read order: estimates from the migrated library are bit-equal
+// to the original's.
+func MigrateLibrary(src, dst string) error {
+	_, err := lpstore.Migrate(src, dst, lpstore.WriteOpts{})
+	return err
+}
+
+// Run executes a sampling experiment over a library file of either format
+// (see RunOpts for stopping rules, parallelism and online history).
 func Run(path string, opts RunOpts) (*RunResult, error) {
 	return livepoint.RunFile(path, opts)
 }
 
+// RunSource executes a sampling experiment over any live-point source —
+// use Connect for remote libraries served by lpserved.
+func RunSource(src Source, opts RunOpts) (*RunResult, error) {
+	return livepoint.RunSource(src, opts)
+}
+
+// Connect dials an lpserved instance. The returned client's Source feeds
+// RunSource and RunMatchedSource exactly like a local library.
+func Connect(baseURL string) (*RemoteLibrary, error) {
+	return lpserve.Dial(baseURL)
+}
+
 // RunMatched executes a matched-pair comparative experiment over a library
-// file (§6.2).
+// file of either format (§6.2).
 func RunMatched(path string, opts MatchedOpts) (*MatchedResult, error) {
 	return livepoint.RunMatchedFile(path, opts)
+}
+
+// RunMatchedSource is RunMatched over any live-point source.
+func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
+	return livepoint.RunMatchedSource(src, opts)
 }
 
 // Simulate runs a single live-point's detailed window under cfg.

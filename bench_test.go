@@ -10,21 +10,30 @@
 package livepoints_test
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"math/rand"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"livepoints/internal/asn1der"
+	"livepoints/internal/bpred"
 	"livepoints/internal/harness"
 	"livepoints/internal/livepoint"
+	"livepoints/internal/lpcluster"
+	"livepoints/internal/lpserve"
 	"livepoints/internal/lpstore"
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
 	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
 )
 
 // benchCtx lazily builds one shared harness context for all benchmarks, so
@@ -491,5 +500,121 @@ func BenchmarkOnlineConvergence(b *testing.B) {
 			b.Fatal("no history")
 		}
 		b.ReportMetric(100*res.Final.RelCI(3.0), "final-CI-%")
+	}
+}
+
+// clusterBenchLib lazily builds one small simulatable shuffled v2 library
+// for the cluster turnaround benchmark.
+var (
+	clusterLibOnce sync.Once
+	clusterLibPath string
+	clusterLibErr  error
+)
+
+func clusterBenchLib(b *testing.B) string {
+	b.Helper()
+	clusterLibOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lpcluster-bench")
+		if err != nil {
+			clusterLibErr = err
+			return
+		}
+		// The temp dir leaks for the process lifetime; benchmarks share it.
+		cfg := uarch.Config8Way()
+		spec, err := prog.ByName("syn.gzip")
+		if err != nil {
+			clusterLibErr = err
+			return
+		}
+		p := prog.Generate(spec, 0.01)
+		benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+		if err != nil {
+			clusterLibErr = err
+			return
+		}
+		design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 2, 1)
+		if err != nil {
+			clusterLibErr = err
+			return
+		}
+		opts := livepoint.CreateOpts{MaxHier: cfg.Hier, Preds: []bpred.Config{cfg.BP}}
+		var blobs [][]byte
+		err = livepoint.Create(p, design, opts, func(lp *livepoint.LivePoint) error {
+			blob, _ := livepoint.Encode(lp)
+			blobs = append(blobs, blob)
+			return nil
+		})
+		if err != nil {
+			clusterLibErr = err
+			return
+		}
+		rng := rand.New(rand.NewSource(0x5EED))
+		rng.Shuffle(len(blobs), func(i, j int) { blobs[i], blobs[j] = blobs[j], blobs[i] })
+		meta := livepoint.Meta{Benchmark: "syn.gzip", UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+		clusterLibPath = filepath.Join(dir, "cluster.lplib")
+		_, clusterLibErr = lpstore.Write(clusterLibPath, meta, blobs, lpstore.WriteOpts{ShardPoints: 8})
+	})
+	if clusterLibErr != nil {
+		b.Fatal(clusterLibErr)
+	}
+	return clusterLibPath
+}
+
+// BenchmarkClusterTurnaround measures whole-library wall time through the
+// distributed path — coordinator + N in-process workers over localhost
+// HTTP — the paper's §7.2 scale-out claim: turnaround shrinks with fleet
+// size because live-points simulate independently. (On a single-core
+// machine the workers time-slice one CPU, so the fleet sizes measure
+// protocol overhead rather than scale-out.)
+func BenchmarkClusterTurnaround(b *testing.B) {
+	lib := clusterBenchLib(b)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			var points int
+			for i := 0; i < b.N; i++ {
+				st, err := lpstore.Open(lib)
+				if err != nil {
+					b.Fatal(err)
+				}
+				coord, err := lpcluster.NewCoordinator(st, lpcluster.RunSpec{},
+					lpcluster.Options{WaitHint: 10 * time.Millisecond})
+				if err != nil {
+					b.Fatal(err)
+				}
+				srv := lpserve.NewServer(st)
+				coord.Mount(srv)
+				ts := httptest.NewServer(srv.Handler())
+				cl, err := lpserve.Dial(ts.URL)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				var wg sync.WaitGroup
+				errc := make(chan error, workers)
+				for w := 0; w < workers; w++ {
+					wk := lpcluster.NewWorker(fmt.Sprintf("bench-%d", w), cl)
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						errc <- wk.Run(ctx)
+					}()
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, ok := coord.Final()
+				if !ok || res.Processed == 0 {
+					b.Fatal("cluster run did not finish")
+				}
+				points = res.Processed
+				ts.Close()
+				st.Close()
+			}
+			b.ReportMetric(float64(points*b.N)/b.Elapsed().Seconds(), "points/s")
+		})
 	}
 }

@@ -5,6 +5,15 @@
 //	lpserved -lib gcc.lplib -addr :9000
 //	lpsim -server http://host:8147          # remote worker pulls points
 //
+// With -cluster the same process also coordinates a distributed sampling
+// run: it issues point leases to lpworker fleets, folds their posted
+// partial statistics, applies the §6.1 online stopping rule fleet-wide,
+// and reassigns leases from crashed workers. `lpsim -coord URL` polls the
+// run for the final fleet-wide estimate.
+//
+//	lpserved -lib gcc.lplib -cluster -err 0.03      # coordinate to ±3%
+//	lpserved -lib gcc.lplib -cluster -matched -memlat 150
+//
 // Legacy v1 (sequential gzip) libraries are migrated to the sharded v2
 // format on startup — written next to the source by default — so every
 // served library supports random access, ranged batch fetch, and raw-shard
@@ -23,8 +32,10 @@ import (
 	"syscall"
 	"time"
 
+	"livepoints/internal/lpcluster"
 	"livepoints/internal/lpserve"
 	"livepoints/internal/lpstore"
+	"livepoints/internal/sampling"
 )
 
 func main() {
@@ -34,6 +45,17 @@ func main() {
 		migrateOut  = flag.String("migrate-out", "", "where to write the v2 migration of a v1 library (default <lib>.v2)")
 		shardPoints = flag.Int("shard-points", 0, "points per shard when migrating (default 64)")
 		drainWait   = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout")
+
+		cluster     = flag.Bool("cluster", false, "also coordinate a distributed sampling run over this library")
+		configName  = flag.String("config", "8way", "cluster: simulated configuration, 8way or 16way")
+		relErr      = flag.Float64("err", 0, "cluster: online stopping target (0 = whole library)")
+		matched     = flag.Bool("matched", false, "cluster: matched-pair comparison against a modified configuration")
+		memLat      = flag.Int("memlat", 0, "cluster matched: override memory latency")
+		l2KB        = flag.Int("l2kb", 0, "cluster matched: override L2 size (KB)")
+		ruu         = flag.Int("ruu", 0, "cluster matched: override RUU size")
+		noImpact    = flag.Float64("noimpact", 0, "cluster matched: no-impact screen threshold (e.g. 0.03)")
+		leasePoints = flag.Int("lease-points", 0, "cluster: points per range lease (default 64)")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "cluster: lease expiry; crashed workers' leases reassign after this (default 60s)")
 	)
 	flag.Parse()
 	if *lib == "" {
@@ -75,6 +97,38 @@ func main() {
 		stat.Benchmark, stat.Points, stat.Shards, stat.Shuffled, l.Addr())
 
 	srv := lpserve.NewServer(st)
+	if *cluster {
+		spec := lpcluster.RunSpec{Config: *configName, RelErr: *relErr}
+		if *matched {
+			spec.Mode = lpcluster.ModeMatched
+			spec.MemLat = *memLat
+			spec.L2KB = *l2KB
+			spec.RUU = *ruu
+			spec.NoImpactThreshold = *noImpact
+		}
+		coord, err := lpcluster.NewCoordinator(st, spec, lpcluster.Options{
+			LeasePoints: *leasePoints,
+			LeaseTTL:    *leaseTTL,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		coord.Mount(srv)
+		log.Printf("coordinating a %s cluster run (err target %v); point lpworker -coord at this address",
+			coord.Spec().Mode, *relErr)
+		go func() {
+			<-coord.Done()
+			res, _ := coord.Final()
+			if coord.Spec().Mode == lpcluster.ModeMatched {
+				log.Printf("cluster run done: ΔCPI %+.2f%% from %d pairs in %v (%d leases reassigned)",
+					100*res.MP.RelDelta(), res.Processed, res.Elapsed.Round(time.Millisecond), res.Reassigned)
+				return
+			}
+			log.Printf("cluster run done: CPI %.4f ±%.2f%% from %d points in %v (stopped=%v, %d leases reassigned)",
+				res.Est.Mean(), 100*res.Est.RelCI(sampling.Z997), res.Processed,
+				res.Elapsed.Round(time.Millisecond), res.Stopped, res.Reassigned)
+		}()
+	}
 	served := make(chan error, 1)
 	go func() { served <- srv.Serve(l) }()
 

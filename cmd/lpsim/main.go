@@ -6,24 +6,33 @@
 //	lpsim -lib gcc.lplib -parallel 8              # goroutine-parallel
 //	lpsim -server http://host:8147 -parallel 8    # pull from lpserved
 //	lpsim -lib gcc.lplib -matched -memlat 150     # matched-pair comparison
+//	lpsim -coord http://host:8147                 # watch a cluster run
 //
 // Results and their confidence are reported online as the (shuffled)
 // library streams in; the run stops as soon as the target is met (§6.1).
+// With -coord, the simulation happens on an lpworker fleet instead:
+// lpsim polls the coordinator (lpserved -cluster) and reports the
+// fleet-wide result when the run completes.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"time"
 
 	"livepoints"
+	"livepoints/internal/lpcluster"
+	"livepoints/internal/lpserve"
 )
 
 func main() {
 	var (
 		lib        = flag.String("lib", "", "live-point library path")
 		server     = flag.String("server", "", "lpserved base URL (e.g. http://host:8147); alternative to -lib")
+		coord      = flag.String("coord", "", "cluster coordinator base URL; report the fleet-wide run instead of simulating locally")
 		configName = flag.String("config", "8way", "simulated configuration: 8way or 16way")
 		relErr     = flag.Float64("err", 0.03, "relative error target (0 = process whole library)")
 		parallel   = flag.Int("parallel", 1, "simulation workers")
@@ -33,8 +42,18 @@ func main() {
 		ruu        = flag.Int("ruu", 0, "matched: override RUU size")
 	)
 	flag.Parse()
-	if (*lib == "") == (*server == "") {
-		log.Fatal("lpsim: exactly one of -lib or -server is required")
+	modes := 0
+	for _, m := range []string{*lib, *server, *coord} {
+		if m != "" {
+			modes++
+		}
+	}
+	if modes != 1 {
+		log.Fatal("lpsim: exactly one of -lib, -server, or -coord is required")
+	}
+	if *coord != "" {
+		watchCluster(*coord)
+		return
 	}
 
 	cfg := livepoints.Config8Way()
@@ -122,4 +141,49 @@ func main() {
 	fmt.Printf("load %v, simulate %v; wrong-path unknown loads/window: %.3f (capture errors: %d)\n",
 		res.LoadTime.Round(time.Millisecond), res.SimTime.Round(time.Millisecond),
 		float64(res.UnknownLoads)/float64(res.Processed), res.CaptureErrors)
+}
+
+// watchCluster polls a coordinator's run state until the fleet finishes,
+// then prints the folded result in the same shape as a local run.
+func watchCluster(url string) {
+	ctx := context.Background()
+	cl, err := lpserve.DialContext(ctx, url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st lpcluster.RunState
+	if err := cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &st); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("watching %s cluster run at %s: %d points, target err %v",
+		st.Spec.Mode, url, st.Points, st.Spec.RelErr)
+
+	lastDone := -1
+	for st.Phase != lpcluster.PhaseDone {
+		if st.Done != lastDone {
+			log.Printf("progress: %d/%d points done, %d active leases, %d reassigned",
+				st.Done, st.Points, st.ActiveLeases, st.Reassigned)
+			lastDone = st.Done
+		}
+		time.Sleep(500 * time.Millisecond)
+		if err := cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &st); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	elapsed := (time.Duration(st.ElapsedMillis) * time.Millisecond).Round(time.Millisecond)
+	if st.Spec.Mode == lpcluster.ModeMatched {
+		fmt.Printf("ΔCPI = %+.2f%% of baseline (base %.4f -> exp %.4f) from %d pairs in %v across the fleet\n",
+			100*st.RelDelta, st.BaseMean, st.ExpMean, st.N, elapsed)
+		if st.StoppedNoImpact {
+			fmt.Println("verdict: no appreciable impact, screened early")
+		}
+		return
+	}
+	fmt.Printf("CPI = %.4f ±%.2f%% (99.7%% confidence) from %d live-points in %v across the fleet\n",
+		st.Mean, 100*st.RelCI, st.N, elapsed)
+	fmt.Printf("fleet load %v, simulate %v; %d leases reassigned after worker loss\n",
+		(time.Duration(st.LoadMillis) * time.Millisecond).Round(time.Millisecond),
+		(time.Duration(st.SimMillis) * time.Millisecond).Round(time.Millisecond),
+		st.Reassigned)
 }

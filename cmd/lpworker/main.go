@@ -1,0 +1,89 @@
+// Command lpworker is one node of a distributed sampling fleet: it pulls
+// simulation leases from a cluster coordinator (lpserved -cluster),
+// fetches the leased live-points over the same HTTP listener, simulates
+// them locally, and posts per-point results back until the coordinator
+// declares the run done.
+//
+//	lpworker -coord http://host:8147                # one puller
+//	lpworker -coord http://host:8147 -parallel 8    # eight pullers
+//
+// Workers are stateless and crash-safe: a worker that dies mid-lease is
+// simply outwaited — the coordinator reassigns its lease after the TTL.
+// SIGINT/SIGTERM stop the pullers at the next lease boundary.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"livepoints/internal/lpcluster"
+	"livepoints/internal/lpserve"
+)
+
+func main() {
+	var (
+		coord    = flag.String("coord", "", "coordinator base URL (required), e.g. http://host:8147")
+		parallel = flag.Int("parallel", 1, "concurrent lease pullers in this process")
+		id       = flag.String("id", "", "worker id reported in leases (default host-pid)")
+	)
+	flag.Parse()
+	if *coord == "" {
+		log.Fatal("lpworker: -coord is required")
+	}
+	if *id == "" {
+		host, _ := os.Hostname()
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	cl, err := lpserve.DialContext(ctx, *coord)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stat := cl.Stat()
+	log.Printf("pulling leases from %s (%s, %d points, %d shards)",
+		*coord, stat.Benchmark, stat.Points, stat.Shards)
+
+	t0 := time.Now()
+	workers := make([]*lpcluster.Worker, *parallel)
+	var wg sync.WaitGroup
+	errs := make(chan error, *parallel)
+	for i := range workers {
+		w := lpcluster.NewWorker(fmt.Sprintf("%s/%d", *id, i), cl)
+		workers[i] = w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(ctx); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		if ctx.Err() != nil {
+			log.Printf("interrupted: %v", err)
+		} else {
+			log.Fatal(err)
+		}
+	}
+
+	var leases, points, expired int
+	for _, w := range workers {
+		leases += w.Leases
+		points += w.Points
+		expired += w.Expired
+	}
+	log.Printf("done: %d leases, %d points simulated (%d leases lost to expiry) in %v",
+		leases, points, expired, time.Since(t0).Round(time.Millisecond))
+}

@@ -307,6 +307,61 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 	return res, nil
 }
 
+// SimBlobs simulates each encoded live-point under cfg and returns the
+// per-point CPIs in input order, plus a RunResult aggregating timings and
+// wrong-path counters. This is the worker-side kernel of a cluster lease:
+// a remote worker fetches a lease's blobs, runs SimBlobs, and posts the
+// CPIs back to the coordinator for folding.
+func SimBlobs(blobs [][]byte, cfg uarch.Config) ([]float64, *RunResult, error) {
+	res := &RunResult{}
+	online := sampling.NewOnline(sampling.Z997, 0, false)
+	cpis := make([]float64, 0, len(blobs))
+	for _, blob := range blobs {
+		t0 := time.Now()
+		lp, err := Decode(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		res.LoadTime += time.Since(t0)
+
+		t0 = time.Now()
+		wr, err := Simulate(lp, cfg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("livepoint: point %d: %w", lp.Index, err)
+		}
+		res.SimTime += time.Since(t0)
+		res.fold(wr, online)
+		cpis = append(cpis, wr.UnitCPI)
+	}
+	res.Est = *online.Estimate()
+	return cpis, res, nil
+}
+
+// SimBlobsMatched is SimBlobs for matched-pair runs: every point is
+// simulated under both configurations and the paired CPIs are returned in
+// input order.
+func SimBlobsMatched(blobs [][]byte, base, exp uarch.Config) (baseCPIs, expCPIs []float64, err error) {
+	baseCPIs = make([]float64, 0, len(blobs))
+	expCPIs = make([]float64, 0, len(blobs))
+	for _, blob := range blobs {
+		lp, err := Decode(blob)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := Simulate(lp, base)
+		if err != nil {
+			return nil, nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
+		}
+		e, err := Simulate(lp, exp)
+		if err != nil {
+			return nil, nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
+		}
+		baseCPIs = append(baseCPIs, b.UnitCPI)
+		expCPIs = append(expCPIs, e.UnitCPI)
+	}
+	return baseCPIs, expCPIs, nil
+}
+
 // MatchedOpts configures a matched-pair comparative experiment (§6.2).
 type MatchedOpts struct {
 	Base uarch.Config

@@ -1,0 +1,372 @@
+package lpcluster
+
+import (
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"livepoints/internal/asn1der"
+	"livepoints/internal/bpred"
+	"livepoints/internal/livepoint"
+	"livepoints/internal/lpserve"
+	"livepoints/internal/lpstore"
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
+)
+
+// testLibrary lazily builds one small real (simulatable) shuffled v2
+// library shared by all cluster tests; creation runs a full functional
+// pass, so it happens once per test process.
+var (
+	libOnce sync.Once
+	libPath string
+	libErr  error
+)
+
+func testLibrary(t *testing.T) string {
+	t.Helper()
+	libOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "lpcluster-test")
+		if err != nil {
+			libErr = err
+			return
+		}
+		// The temp dir leaks for the process lifetime; tests share it.
+		cfg := uarch.Config8Way()
+		spec, err := prog.ByName("syn.gzip")
+		if err != nil {
+			libErr = err
+			return
+		}
+		p := prog.Generate(spec, 0.01)
+		benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+		if err != nil {
+			libErr = err
+			return
+		}
+		design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 2, 1)
+		if err != nil {
+			libErr = err
+			return
+		}
+		opts := livepoint.CreateOpts{MaxHier: cfg.Hier, Preds: []bpred.Config{cfg.BP}}
+		var blobs [][]byte
+		err = livepoint.Create(p, design, opts, func(lp *livepoint.LivePoint) error {
+			b, _ := livepoint.Encode(lp)
+			blobs = append(blobs, b)
+			return nil
+		})
+		if err != nil {
+			libErr = err
+			return
+		}
+		rng := rand.New(rand.NewSource(0x5EED))
+		rng.Shuffle(len(blobs), func(i, j int) { blobs[i], blobs[j] = blobs[j], blobs[i] })
+		meta := livepoint.Meta{Benchmark: "syn.gzip", UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+		libPath = filepath.Join(dir, "lib.lplib")
+		_, libErr = lpstore.Write(libPath, meta, blobs, lpstore.WriteOpts{ShardPoints: 5})
+	})
+	if libErr != nil {
+		t.Fatal(libErr)
+	}
+	return libPath
+}
+
+// startCluster opens the library, mounts a coordinator on an lpserve
+// server, and dials a client against it.
+func startCluster(t *testing.T, spec RunSpec, opt Options) (*Coordinator, *lpserve.Client) {
+	t.Helper()
+	st, err := lpstore.Open(testLibrary(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	coord, err := NewCoordinator(st, spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lpserve.NewServer(st)
+	coord.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	cl, err := lpserve.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, cl
+}
+
+// runWorkers drives n concurrent in-process workers to completion.
+func runWorkers(t *testing.T, cl *lpserve.Client, n int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		w := NewWorker(string(rune('a'+i)), cl)
+		go func() { errs <- w.Run(ctx) }()
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestClusterParity is the subsystem's acceptance check: a whole-library
+// cluster run (coordinator + 2 workers over localhost HTTP) must produce
+// a bit-equal estimate to the local serial RunFile path.
+func TestClusterParity(t *testing.T) {
+	lib := testLibrary(t)
+	local, err := livepoint.RunFile(lib, livepoint.RunOpts{Cfg: uarch.Config8Way()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if local.Processed < 2*sampling.MinSampleSize {
+		t.Fatalf("test library too small: %d points", local.Processed)
+	}
+
+	coord, cl := startCluster(t, RunSpec{}, Options{})
+	runWorkers(t, cl, 2)
+
+	res, ok := coord.Final()
+	if !ok {
+		t.Fatal("run not finished after workers exited")
+	}
+	if res.Processed != local.Processed {
+		t.Fatalf("cluster processed %d points, local %d", res.Processed, local.Processed)
+	}
+	if !reflect.DeepEqual(res.Est, local.Est) {
+		t.Fatalf("cluster estimate not bit-equal to local: %.12f vs %.12f", res.Est.Mean(), local.Est.Mean())
+	}
+	if res.UnknownFetches != local.UnknownFetches || res.UnknownLoads != local.UnknownLoads ||
+		res.CaptureErrors != local.CaptureErrors {
+		t.Fatalf("counter mismatch: cluster %d/%d/%d, local %d/%d/%d",
+			res.UnknownFetches, res.UnknownLoads, res.CaptureErrors,
+			local.UnknownFetches, local.UnknownLoads, local.CaptureErrors)
+	}
+	if res.Stopped {
+		t.Fatal("whole-library run reported a stopping-rule stop")
+	}
+	// Whole-library runs must have leased shard-major (raw-gzip passthrough).
+	coord.mu.Lock()
+	shardLeased := coord.nextShard
+	coord.mu.Unlock()
+	if shardLeased == 0 {
+		t.Fatal("whole-library run issued no shard leases")
+	}
+}
+
+// TestClusterOnlineStopping runs the §6.1 rule across the fleet: the run
+// must stop early, satisfy the same confidence target a single-process
+// run satisfies, and must have used read-order range leases only.
+func TestClusterOnlineStopping(t *testing.T) {
+	const relErr = 0.5
+	lib := testLibrary(t)
+	local, err := livepoint.RunFile(lib, livepoint.RunOpts{Cfg: uarch.Config8Way(), RelErr: relErr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !local.Satisfied(sampling.Z997, relErr) {
+		t.Fatalf("local online run did not satisfy ±%.0f%%; library unusable for this test", 100*relErr)
+	}
+
+	coord, cl := startCluster(t, RunSpec{RelErr: relErr}, Options{LeasePoints: 8})
+	runWorkers(t, cl, 2)
+
+	res, ok := coord.Final()
+	if !ok {
+		t.Fatal("run not finished")
+	}
+	if !res.Stopped {
+		t.Fatal("stopping rule did not fire before library exhaustion")
+	}
+	if !res.Est.Satisfied(sampling.Z997, relErr) {
+		t.Fatalf("stopped estimate does not satisfy the target: n=%d relCI=%.3f",
+			res.Est.N(), res.Est.RelCI(sampling.Z997))
+	}
+	if res.Est.N() < sampling.MinSampleSize {
+		t.Fatalf("stopped below the CLT floor: n=%d", res.Est.N())
+	}
+	st, _ := lpstore.Open(lib)
+	total := st.Count()
+	st.Close()
+	if res.Processed >= total {
+		t.Fatalf("online stop processed the whole library (%d points)", total)
+	}
+	// Truncation bias rule: no shard-major lease may exist in a stopping run.
+	coord.mu.Lock()
+	shardLeased := coord.nextShard
+	for _, l := range coord.leases {
+		if l.kind != LeaseRange {
+			t.Errorf("stopping run issued a %s lease", l.kind)
+		}
+	}
+	coord.mu.Unlock()
+	if shardLeased != 0 {
+		t.Fatal("stopping run leased shard-major")
+	}
+}
+
+// TestClusterMatchedParity checks matched-pair cluster runs are bit-equal
+// to the local RunMatchedFile fold.
+func TestClusterMatchedParity(t *testing.T) {
+	lib := testLibrary(t)
+	spec := RunSpec{Mode: ModeMatched, MemLat: 200}
+	base, exp, err := spec.Configs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := livepoint.RunMatchedFile(lib, livepoint.MatchedOpts{Base: base, Exp: exp, Z: sampling.Z997})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, cl := startCluster(t, spec, Options{})
+	runWorkers(t, cl, 2)
+
+	res, ok := coord.Final()
+	if !ok {
+		t.Fatal("run not finished")
+	}
+	if !reflect.DeepEqual(res.MP, local.MP) {
+		t.Fatalf("cluster matched pair not bit-equal: Δ %.12f vs %.12f", res.MP.MeanDelta(), local.MP.MeanDelta())
+	}
+	if res.Processed != local.Processed {
+		t.Fatalf("cluster processed %d pairs, local %d", res.Processed, local.Processed)
+	}
+}
+
+// TestLeaseExpiryReassignment injects a worker crash: a worker acquires a
+// lease over HTTP and goes silent. The lease must expire, be reassigned
+// to the surviving worker, and the final estimate must be identical to
+// the local run — the crash changes nothing but turnaround. A late post
+// from the crashed worker is rejected with 410.
+func TestLeaseExpiryReassignment(t *testing.T) {
+	lib := testLibrary(t)
+	local, err := livepoint.RunFile(lib, livepoint.RunOpts{Cfg: uarch.Config8Way()})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord, cl := startCluster(t, RunSpec{}, Options{LeaseTTL: 150 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The "crashed" worker: takes the first lease and never posts.
+	var lr LeaseResponse
+	if err := cl.DoJSON(ctx, http.MethodPost, "/v1/leases", LeaseRequest{Worker: "crash"}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Lease == nil {
+		t.Fatalf("crashed worker got no lease: %+v", lr)
+	}
+
+	// The surviving worker drains everything, including the reassigned
+	// lease once its TTL passes.
+	w := NewWorker("survivor", cl)
+	if err := w.Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	res, ok := coord.Final()
+	if !ok {
+		t.Fatal("run not finished")
+	}
+	if res.Reassigned < 1 {
+		t.Fatal("crashed lease was never reassigned")
+	}
+	if !reflect.DeepEqual(res.Est, local.Est) {
+		t.Fatalf("estimate after crash not bit-equal to local: %.12f vs %.12f", res.Est.Mean(), local.Est.Mean())
+	}
+
+	// The crashed worker finally wakes up and posts: 410 Gone, no refold.
+	late := &Result{LeaseID: lr.Lease.ID, Worker: "crash", CPIs: make([]float64, lr.Lease.Points)}
+	err = cl.DoJSON(ctx, http.MethodPost, "/v1/results", late, nil)
+	if !lpserve.IsStatus(err, http.StatusGone) {
+		t.Fatalf("late post for revoked lease: %v, want 410", err)
+	}
+	after, _ := coord.Final()
+	if !reflect.DeepEqual(after.Est, res.Est) {
+		t.Fatal("late post changed the sealed estimate")
+	}
+}
+
+// synthStore writes a store of synthetic DER blobs — fine for driving the
+// coordinator API directly, where nothing is simulated.
+func synthStore(t *testing.T, n, shardPoints int, shuffled bool) *lpstore.Store {
+	t.Helper()
+	rng := rand.New(rand.NewSource(3))
+	blobs := make([][]byte, n)
+	for i := range blobs {
+		payload := make([]byte, 40+rng.Intn(100))
+		rng.Read(payload)
+		b := asn1der.NewBuilder()
+		b.OctetString(payload)
+		blobs[i] = b.Bytes()
+	}
+	path := filepath.Join(t.TempDir(), "synth.lplib")
+	meta := livepoint.Meta{Benchmark: "syn.protocol", UnitLen: 10, WarmLen: 20, Shuffled: shuffled}
+	if _, err := lpstore.Write(path, meta, blobs, lpstore.WriteOpts{ShardPoints: shardPoints}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := lpstore.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func TestResultRejection(t *testing.T) {
+	st := synthStore(t, 23, 4, true)
+	coord, err := NewCoordinator(st, RunSpec{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr := coord.Acquire("w")
+	if lr.Lease == nil {
+		t.Fatalf("no lease: %+v", lr)
+	}
+
+	// Wrong observation count.
+	if _, err := coord.Result(&Result{LeaseID: lr.Lease.ID, CPIs: []float64{1}}); err == nil {
+		t.Fatal("short result accepted")
+	}
+	// Unknown lease.
+	if _, err := coord.Result(&Result{LeaseID: 999, CPIs: []float64{1}}); err != ErrLeaseGone {
+		t.Fatalf("unknown lease: %v, want ErrLeaseGone", err)
+	}
+	// Correct result folds once...
+	good := &Result{LeaseID: lr.Lease.ID, CPIs: make([]float64, lr.Lease.Points)}
+	for i := range good.CPIs {
+		good.CPIs[i] = 1 + float64(i)
+	}
+	resp, err := coord.Result(good)
+	if err != nil || !resp.Accepted {
+		t.Fatalf("good result rejected: %+v, %v", resp, err)
+	}
+	// ...and a duplicate is refused.
+	if _, err := coord.Result(good); err != ErrDuplicate {
+		t.Fatalf("duplicate: %v, want ErrDuplicate", err)
+	}
+}
+
+func TestStoppingRequiresShuffledLibrary(t *testing.T) {
+	st := synthStore(t, 16, 4, false)
+	if _, err := NewCoordinator(st, RunSpec{RelErr: 0.1}, Options{}); err == nil {
+		t.Fatal("unshuffled library accepted for an online-stopping run")
+	}
+	if _, err := NewCoordinator(st, RunSpec{}, Options{}); err != nil {
+		t.Fatalf("whole-library run on unshuffled library refused: %v", err)
+	}
+}

@@ -1,0 +1,418 @@
+package lpcluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"livepoints/internal/lpstore"
+	"livepoints/internal/sampling"
+)
+
+// Options tunes coordinator scheduling.
+type Options struct {
+	// LeasePoints is the range-lease size (default 64, matching the
+	// client's ranged-fetch batch).
+	LeasePoints int
+	// LeaseTTL is how long a worker has to post a lease's result before
+	// the points are reassigned (default 60s).
+	LeaseTTL time.Duration
+	// WaitHint is the retry delay suggested to workers when all
+	// outstanding work is leased (default 200ms).
+	WaitHint time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeasePoints <= 0 {
+		o.LeasePoints = 64
+	}
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 60 * time.Second
+	}
+	if o.WaitHint <= 0 {
+		o.WaitHint = 200 * time.Millisecond
+	}
+	return o
+}
+
+// Result rejections, surfaced over HTTP as 410 and 409.
+var (
+	// ErrLeaseGone rejects a result for an unknown or reassigned lease —
+	// the worker blew its deadline and the points now belong to a
+	// replacement lease, so folding this copy would double-count.
+	ErrLeaseGone = errors.New("lpcluster: lease expired or reassigned")
+	// ErrDuplicate rejects a second result for a completed lease.
+	ErrDuplicate = errors.New("lpcluster: duplicate result for completed lease")
+)
+
+// lease is the coordinator's view of one assigned work unit.
+type lease struct {
+	id        uint64
+	kind      string
+	shard     int
+	start     int
+	positions []int // global read-order positions covered
+	worker    string
+	deadline  time.Time
+	done      bool
+	revoked   bool
+}
+
+// ClusterResult is the folded outcome of a cluster run.
+type ClusterResult struct {
+	Est             sampling.Estimate   // absolute mode
+	MP              sampling.MatchedPair // matched mode
+	Processed       int
+	Stopped         bool // §6.1 rule fired before exhausting the library
+	StoppedNoImpact bool
+	Reassigned      int // leases reissued after expiry
+
+	Elapsed  time.Duration // first lease issued -> run finished
+	LoadTime time.Duration // summed across workers
+	SimTime  time.Duration
+
+	UnknownFetches uint64
+	UnknownLoads   uint64
+	CaptureErrors  uint64
+}
+
+// Coordinator owns one cluster sampling run over a live-point store. It
+// is driven entirely by worker requests: Acquire hands out leases
+// (reclaiming expired ones first), Result folds posted partials and
+// applies the fleet-wide stopping rule. All methods are safe for
+// concurrent use.
+type Coordinator struct {
+	st   *lpstore.Store
+	spec RunSpec
+	opt  Options
+
+	mu        sync.Mutex
+	nextID    uint64
+	nextPos   int // next unleased read-order position (range leases)
+	nextShard int // next unleased shard (shard leases)
+	leases    map[uint64]*lease
+	pending   []*lease // reclaimed, awaiting reassignment
+	active    int
+
+	values   []float64 // per read-order position: CPI (absolute mode)
+	baseVals []float64 // matched mode
+	expVals  []float64
+	done     int // positions completed
+
+	online sampling.Estimate    // completion-order fold of partials
+	mp     sampling.MatchedPair // matched-mode completion-order fold
+
+	started    bool
+	start      time.Time
+	elapsed    time.Duration // sealed at finalize
+	stopped    bool
+	noImpact   bool
+	finished   bool
+	reassigned int
+	doneCh     chan struct{}
+
+	unknownFetches, unknownLoads, captureErrors uint64
+	loadTime, simTime                           time.Duration
+}
+
+// NewCoordinator validates the spec against the store and returns an idle
+// coordinator; the run starts when the first worker asks for a lease.
+func NewCoordinator(st *lpstore.Store, spec RunSpec, opt Options) (*Coordinator, error) {
+	spec = spec.withDefaults()
+	if _, _, err := spec.Configs(); err != nil {
+		return nil, err
+	}
+	if spec.Mode != ModeAbsolute && spec.Mode != ModeMatched {
+		return nil, fmt.Errorf("lpcluster: unknown run mode %q", spec.Mode)
+	}
+	stopping := spec.RelErr > 0 || (spec.Mode == ModeMatched && spec.NoImpactThreshold > 0)
+	if stopping && !st.Meta().Shuffled {
+		return nil, fmt.Errorf("lpcluster: online stopping requires a shuffled library (lpstore.Shuffle)")
+	}
+	c := &Coordinator{
+		st:     st,
+		spec:   spec,
+		opt:    opt.withDefaults(),
+		leases: make(map[uint64]*lease),
+		doneCh: make(chan struct{}),
+	}
+	n := st.Count()
+	if spec.Mode == ModeMatched {
+		c.baseVals = make([]float64, n)
+		c.expVals = make([]float64, n)
+	} else {
+		c.values = make([]float64, n)
+	}
+	return c, nil
+}
+
+// Spec returns the run specification (defaults resolved).
+func (c *Coordinator) Spec() RunSpec { return c.spec }
+
+// Done returns a channel closed when the run finishes.
+func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// stoppingActive reports whether an online stopping rule constrains lease
+// shape: truncated samples must be read-order prefixes (DESIGN §3.3), so
+// shard-major leases are off the table.
+func (c *Coordinator) stoppingActive() bool {
+	return c.spec.RelErr > 0 || (c.spec.Mode == ModeMatched && c.spec.NoImpactThreshold > 0)
+}
+
+// reclaimLocked revokes expired leases and queues their points for
+// reassignment under fresh lease ids. A late result for a revoked lease
+// is rejected (ErrLeaseGone), so every position folds exactly once.
+func (c *Coordinator) reclaimLocked() {
+	now := time.Now()
+	for _, l := range c.leases {
+		if l.done || l.revoked || now.Before(l.deadline) {
+			continue
+		}
+		l.revoked = true
+		c.active--
+		c.reassigned++
+		c.pending = append(c.pending, &lease{
+			kind:      l.kind,
+			shard:     l.shard,
+			start:     l.start,
+			positions: l.positions,
+		})
+	}
+}
+
+// Acquire hands worker its next lease: a reclaimed lease first, then
+// fresh work (shard-major for whole-library runs, read-order ranges while
+// a stopping rule is active). With everything leased but unfinished it
+// returns a wait hint; with the run finished it returns done.
+func (c *Coordinator) Acquire(worker string) LeaseResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reclaimLocked()
+	if c.finished {
+		return LeaseResponse{Done: true}
+	}
+	if !c.started {
+		c.started = true
+		c.start = time.Now()
+	}
+
+	var l *lease
+	switch {
+	case len(c.pending) > 0:
+		l = c.pending[0]
+		c.pending = c.pending[1:]
+	case !c.stoppingActive() && c.st.NumShards() > 1:
+		if c.nextShard < c.st.NumShards() {
+			positions, err := c.st.ShardReadPositions(c.nextShard)
+			if err != nil { // cannot happen on a validated store
+				return LeaseResponse{Wait: true, WaitMillis: c.opt.WaitHint.Milliseconds()}
+			}
+			l = &lease{kind: LeaseShard, shard: c.nextShard, positions: positions}
+			c.nextShard++
+		}
+	default:
+		if c.nextPos < c.st.Count() {
+			n := c.opt.LeasePoints
+			if c.nextPos+n > c.st.Count() {
+				n = c.st.Count() - c.nextPos
+			}
+			positions := make([]int, n)
+			for i := range positions {
+				positions[i] = c.nextPos + i
+			}
+			l = &lease{kind: LeaseRange, start: c.nextPos, positions: positions}
+			c.nextPos += n
+		}
+	}
+	if l == nil {
+		return LeaseResponse{Wait: true, WaitMillis: c.opt.WaitHint.Milliseconds()}
+	}
+
+	c.nextID++
+	l.id = c.nextID
+	l.worker = worker
+	l.deadline = time.Now().Add(c.opt.LeaseTTL)
+	c.leases[l.id] = l
+	c.active++
+	return LeaseResponse{Lease: &Lease{
+		ID:        l.id,
+		Kind:      l.kind,
+		Shard:     l.shard,
+		Start:     l.start,
+		Count:     len(l.positions),
+		Points:    len(l.positions),
+		TTLMillis: c.opt.LeaseTTL.Milliseconds(),
+	}}
+}
+
+// Result folds one completed lease's partial statistics. Partials fold in
+// completion order; after each fold the §6.1 stopping rule is evaluated
+// across everything the fleet has produced. Results for revoked leases
+// are rejected with ErrLeaseGone (the replacement lease owns those points
+// now), duplicates with ErrDuplicate.
+func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l, ok := c.leases[res.LeaseID]
+	if !ok || l.revoked {
+		return ResultResponse{}, ErrLeaseGone
+	}
+	if l.done {
+		return ResultResponse{}, ErrDuplicate
+	}
+	if c.finished {
+		// Stragglers after the stopping rule fired: nothing to fold.
+		return ResultResponse{Accepted: false, Done: true}, nil
+	}
+	n := len(l.positions)
+	matched := c.spec.Mode == ModeMatched
+	if matched {
+		if len(res.BaseCPIs) != n || len(res.ExpCPIs) != n {
+			return ResultResponse{}, fmt.Errorf("lpcluster: lease %d: got %d/%d paired CPIs, want %d",
+				res.LeaseID, len(res.BaseCPIs), len(res.ExpCPIs), n)
+		}
+	} else if len(res.CPIs) != n {
+		return ResultResponse{}, fmt.Errorf("lpcluster: lease %d: got %d CPIs, want %d", res.LeaseID, len(res.CPIs), n)
+	}
+
+	l.done = true
+	c.active--
+	c.done += n
+	c.unknownFetches += res.UnknownFetches
+	c.unknownLoads += res.UnknownLoads
+	c.captureErrors += res.CaptureErrors
+	c.loadTime += time.Duration(res.LoadMillis) * time.Millisecond
+	c.simTime += time.Duration(res.SimMillis) * time.Millisecond
+
+	// Record per-point values at their read-order positions (for the
+	// bit-equal whole-library refold) and fold the partial into the
+	// fleet-wide running estimate (completion order).
+	if matched {
+		var part sampling.MatchedPair
+		for i, pos := range l.positions {
+			c.baseVals[pos] = res.BaseCPIs[i]
+			c.expVals[pos] = res.ExpCPIs[i]
+			part.Add(res.BaseCPIs[i], res.ExpCPIs[i])
+		}
+		c.mp.Merge(part)
+		// Mirror RunMatchedSource: the no-impact screen is checked first.
+		if c.spec.NoImpactThreshold > 0 && c.mp.NoImpact(c.spec.Z, c.spec.NoImpactThreshold) {
+			c.stopped, c.noImpact = true, true
+		} else if c.spec.RelErr > 0 && c.mp.DeltaSatisfied(c.spec.Z, c.spec.RelErr) {
+			c.stopped = true
+		}
+	} else {
+		var part sampling.Estimate
+		for i, pos := range l.positions {
+			c.values[pos] = res.CPIs[i]
+			part.Add(res.CPIs[i])
+		}
+		c.online.Merge(part)
+		if c.spec.RelErr > 0 && c.online.Satisfied(c.spec.Z, c.spec.RelErr) {
+			c.stopped = true
+		}
+	}
+
+	if c.stopped || c.done == c.st.Count() {
+		c.finalizeLocked()
+	}
+	return ResultResponse{Accepted: true, Done: c.finished}, nil
+}
+
+// finalizeLocked seals the run. A whole-library run refolds the recorded
+// per-point values in read order, reproducing the serial local fold bit
+// for bit; a stopped run keeps the completion-order estimate (any prefix
+// of a shuffled library is a valid sub-sample, §6.1).
+func (c *Coordinator) finalizeLocked() {
+	if c.finished {
+		return
+	}
+	c.finished = true
+	c.elapsed = time.Since(c.start)
+	if !c.stopped {
+		if c.spec.Mode == ModeMatched {
+			var mp sampling.MatchedPair
+			for i := range c.baseVals {
+				mp.Add(c.baseVals[i], c.expVals[i])
+			}
+			c.mp = mp
+		} else {
+			var est sampling.Estimate
+			for _, v := range c.values {
+				est.Add(v)
+			}
+			c.online = est
+		}
+	}
+	close(c.doneCh)
+}
+
+// Final returns the folded run result once the run has finished.
+func (c *Coordinator) Final() (*ClusterResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.finished {
+		return nil, false
+	}
+	return &ClusterResult{
+		Est:             c.online,
+		MP:              c.mp,
+		Processed:       c.doneProcessedLocked(),
+		Stopped:         c.stopped,
+		StoppedNoImpact: c.noImpact,
+		Reassigned:      c.reassigned,
+		Elapsed:         c.elapsed,
+		LoadTime:        c.loadTime,
+		SimTime:         c.simTime,
+		UnknownFetches:  c.unknownFetches,
+		UnknownLoads:    c.unknownLoads,
+		CaptureErrors:   c.captureErrors,
+	}, true
+}
+
+// doneProcessedLocked is the number of observations in the final fold.
+func (c *Coordinator) doneProcessedLocked() int {
+	if c.spec.Mode == ModeMatched {
+		return c.mp.N()
+	}
+	return c.online.N()
+}
+
+// State snapshots the run for GET /v1/run.
+func (c *Coordinator) State() RunState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := RunState{
+		Spec:          c.spec,
+		Points:        c.st.Count(),
+		Phase:         PhaseRunning,
+		Done:          c.done,
+		ActiveLeases:  c.active,
+		PendingLeases: len(c.pending),
+		Reassigned:    c.reassigned,
+	}
+	if !c.finished {
+		return st
+	}
+	st.Phase = PhaseDone
+	st.Stopped = c.stopped
+	st.StoppedNoImpact = c.noImpact
+	st.N = c.doneProcessedLocked()
+	if c.spec.Mode == ModeMatched {
+		st.BaseMean = c.mp.Base.Mean()
+		st.ExpMean = c.mp.Exp.Mean()
+		st.RelDelta = c.mp.RelDelta()
+		st.DeltaCI = c.mp.DeltaCI(c.spec.Z)
+	} else {
+		st.Mean = c.online.Mean()
+		st.RelCI = c.online.RelCI(c.spec.Z)
+	}
+	st.UnknownFetches = c.unknownFetches
+	st.UnknownLoads = c.unknownLoads
+	st.CaptureErrors = c.captureErrors
+	st.LoadMillis = c.loadTime.Milliseconds()
+	st.SimMillis = c.simTime.Milliseconds()
+	st.ElapsedMillis = c.elapsed.Milliseconds()
+	return st
+}

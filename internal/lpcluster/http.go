@@ -1,0 +1,62 @@
+package lpcluster
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"livepoints/internal/lpserve"
+)
+
+// Mount registers the cluster endpoints on an lpserve server, beside the
+// store's streaming endpoints:
+//
+//	POST /v1/leases   acquire the next lease (or wait/done verdict)
+//	POST /v1/results  post a completed lease's partial statistics
+//	GET  /v1/run      run spec + progress + final fleet-wide result
+//
+// Workers fetch leased bytes through the server's existing /v1/shards and
+// /v1/points endpoints, so one listener serves both the library and the
+// coordination protocol.
+func (c *Coordinator) Mount(s *lpserve.Server) {
+	s.Extend("POST /v1/leases", c.handleLeases)
+	s.Extend("POST /v1/results", c.handleResults)
+	s.Extend("GET /v1/run", c.handleRun)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleLeases(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad lease request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	writeJSON(w, c.Acquire(req.Worker))
+}
+
+func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
+	var res Result
+	if err := json.NewDecoder(r.Body).Decode(&res); err != nil {
+		http.Error(w, "bad result: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp, err := c.Result(&res)
+	switch {
+	case errors.Is(err, ErrLeaseGone):
+		http.Error(w, err.Error(), http.StatusGone)
+	case errors.Is(err, ErrDuplicate):
+		http.Error(w, err.Error(), http.StatusConflict)
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		writeJSON(w, resp)
+	}
+}
+
+func (c *Coordinator) handleRun(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, c.State())
+}

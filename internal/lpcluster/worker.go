@@ -1,0 +1,144 @@
+package lpcluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"livepoints/internal/livepoint"
+	"livepoints/internal/lpserve"
+	"livepoints/internal/uarch"
+)
+
+// Worker is one stateless lease puller: it reads the run spec from the
+// coordinator, then loops acquire → fetch → simulate → post until the
+// coordinator reports the run done. All coordinator traffic rides the
+// lpserve client's retry policy (per-request timeouts, capped exponential
+// backoff), so transient network failures and coordinator restarts under
+// a load balancer do not kill the fleet.
+//
+// A worker that loses a lease race — its lease expired and was reassigned
+// while it was still simulating — discards that work and moves on; the
+// coordinator has already promised those points to a replacement.
+type Worker struct {
+	// ID names the worker in leases (for operability; uniqueness is not
+	// required for correctness).
+	ID string
+
+	cl      *lpserve.Client
+	base    uarch.Config
+	exp     uarch.Config
+	matched bool
+
+	// Leases and Points count successfully posted work.
+	Leases, Points int
+	// Expired counts leases lost to expiry (work discarded).
+	Expired int
+}
+
+// NewWorker returns a worker pulling from the coordinator behind cl's
+// base URL (the same server that streams the library bytes).
+func NewWorker(id string, cl *lpserve.Client) *Worker {
+	return &Worker{ID: id, cl: cl}
+}
+
+// Run pulls and simulates leases until the run completes, the context is
+// cancelled, or a non-recoverable error occurs.
+func (w *Worker) Run(ctx context.Context) error {
+	var state RunState
+	if err := w.cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &state); err != nil {
+		return fmt.Errorf("lpcluster: worker %s: fetching run spec: %w", w.ID, err)
+	}
+	base, exp, err := state.Spec.Configs()
+	if err != nil {
+		return fmt.Errorf("lpcluster: worker %s: %w", w.ID, err)
+	}
+	w.base, w.exp, w.matched = base, exp, state.Spec.Mode == ModeMatched
+
+	for {
+		var lr LeaseResponse
+		if err := w.cl.DoJSON(ctx, http.MethodPost, "/v1/leases", LeaseRequest{Worker: w.ID}, &lr); err != nil {
+			return fmt.Errorf("lpcluster: worker %s: acquiring lease: %w", w.ID, err)
+		}
+		if lr.Done {
+			return nil
+		}
+		if lr.Lease == nil {
+			wait := time.Duration(lr.WaitMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+
+		res, err := w.simulate(ctx, lr.Lease)
+		if err != nil {
+			return fmt.Errorf("lpcluster: worker %s: lease %d: %w", w.ID, lr.Lease.ID, err)
+		}
+		var rr ResultResponse
+		err = w.cl.DoJSON(ctx, http.MethodPost, "/v1/results", res, &rr)
+		if lpserve.IsStatus(err, http.StatusGone) || lpserve.IsStatus(err, http.StatusConflict) {
+			// Deadline blown mid-simulation; the points were reassigned.
+			w.Expired++
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("lpcluster: worker %s: posting lease %d: %w", w.ID, lr.Lease.ID, err)
+		}
+		if rr.Accepted {
+			w.Leases++
+			w.Points += lr.Lease.Points
+		}
+		if rr.Done {
+			return nil
+		}
+	}
+}
+
+// simulate fetches a lease's blobs (raw-gzip shard passthrough for shard
+// leases, ranged batch for range leases) and runs them locally.
+func (w *Worker) simulate(ctx context.Context, l *Lease) (*Result, error) {
+	t0 := time.Now()
+	var blobs [][]byte
+	var err error
+	if l.Kind == LeaseShard {
+		blobs, err = w.cl.ShardBlobs(ctx, l.Shard)
+	} else {
+		blobs, err = w.cl.FetchBatch(ctx, l.Start, l.Count)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(blobs) != l.Points {
+		return nil, fmt.Errorf("lease covers %d points but fetch returned %d", l.Points, len(blobs))
+	}
+	fetch := time.Since(t0)
+
+	res := &Result{LeaseID: l.ID, Worker: w.ID}
+	if w.matched {
+		baseCPIs, expCPIs, err := livepoint.SimBlobsMatched(blobs, w.base, w.exp)
+		if err != nil {
+			return nil, err
+		}
+		res.BaseCPIs, res.ExpCPIs = baseCPIs, expCPIs
+		res.LoadMillis = fetch.Milliseconds()
+	} else {
+		cpis, rr, err := livepoint.SimBlobs(blobs, w.base)
+		if err != nil {
+			return nil, err
+		}
+		res.CPIs = cpis
+		res.UnknownFetches = rr.UnknownFetches
+		res.UnknownLoads = rr.UnknownLoads
+		res.CaptureErrors = rr.CaptureErrors
+		res.LoadMillis = (fetch + rr.LoadTime).Milliseconds()
+		res.SimMillis = rr.SimTime.Milliseconds()
+	}
+	return res, nil
+}

@@ -4,11 +4,14 @@ import (
 	"bufio"
 	"bytes"
 	"compress/gzip"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"livepoints/internal/livepoint"
 	"livepoints/internal/lpstore"
@@ -17,28 +20,103 @@ import (
 // DefaultBatchPoints is the sequential client's ranged-fetch size.
 const DefaultBatchPoints = 64
 
+// DefaultTimeout bounds one request attempt (connect + headers + body)
+// when Client.Timeout is unset.
+const DefaultTimeout = 30 * time.Second
+
+// RetryPolicy is a capped-exponential backoff schedule: a failed request
+// is retried up to Max times, sleeping Base, 2·Base, 4·Base, ... between
+// attempts, never more than Cap. Transport errors and 5xx statuses are
+// retried; 4xx statuses are terminal (the request itself is wrong).
+type RetryPolicy struct {
+	Max  int
+	Base time.Duration
+	Cap  time.Duration
+}
+
+// DefaultRetry is the retry schedule clients start with.
+var DefaultRetry = RetryPolicy{Max: 3, Base: 50 * time.Millisecond, Cap: 2 * time.Second}
+
+// backoff returns the sleep before retry attempt i (0-based).
+func (p RetryPolicy) backoff(i int) time.Duration {
+	d := p.Base << uint(i)
+	if p.Cap > 0 && d > p.Cap {
+		d = p.Cap
+	}
+	return d
+}
+
+// StatusError is a non-2xx response from the server, preserved so callers
+// can branch on the status code (e.g. a coordinator's 409/410 lease
+// verdicts) with errors.As.
+type StatusError struct {
+	Code int
+	Msg  string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("%d %s: %s", e.Code, http.StatusText(e.Code), e.Msg)
+}
+
+// retryable reports whether the failure may be transient: every 5xx is,
+// anything else the server said is not.
+func (e *StatusError) retryable() bool { return e.Code >= 500 }
+
 // Client talks to one lpserved instance. Its sources implement
 // livepoint.Source and livepoint.ShardedSource, so remote libraries plug
 // into the same runners as local files: serial runs pull ranged batches,
 // parallel runs pull whole shards (stored gzip bytes, decompressed
 // client-side).
+//
+// Every request runs under a context with a per-attempt timeout and is
+// retried on transient failures with capped exponential backoff; tune
+// Timeout and Retry before the first request. A Client is safe for
+// concurrent use.
 type Client struct {
 	base string
 	hc   *http.Client
 	stat lpstore.Stat
+	ctx  context.Context // base context for Source operations
 
 	// BatchPoints is the number of points per ranged /v1/points request
 	// (default DefaultBatchPoints).
 	BatchPoints int
+	// Timeout bounds each request attempt (default DefaultTimeout).
+	Timeout time.Duration
+	// Retry is the backoff schedule for transient failures.
+	Retry RetryPolicy
+}
+
+// New returns a client without contacting the server; the first request
+// (or Refresh) will. Sources created before Refresh see a zero Stat.
+func New(baseURL string) *Client {
+	return &Client{
+		base:  strings.TrimRight(baseURL, "/"),
+		hc:    &http.Client{},
+		ctx:   context.Background(),
+		Retry: DefaultRetry,
+	}
 }
 
 // Dial checks the server is reachable and caches its /v1/stat.
 func Dial(baseURL string) (*Client, error) {
-	c := &Client{base: strings.TrimRight(baseURL, "/"), hc: &http.Client{}}
-	if err := c.getJSON("/v1/stat", &c.stat); err != nil {
+	return DialContext(context.Background(), baseURL)
+}
+
+// DialContext is Dial with a caller context, which also becomes the base
+// context for the client's Source streams.
+func DialContext(ctx context.Context, baseURL string) (*Client, error) {
+	c := New(baseURL)
+	c.ctx = ctx
+	if err := c.Refresh(ctx); err != nil {
 		return nil, fmt.Errorf("lpserve: dialing %s: %w", baseURL, err)
 	}
 	return c, nil
+}
+
+// Refresh re-fetches and caches the server's /v1/stat.
+func (c *Client) Refresh(ctx context.Context) error {
+	return c.getJSON(ctx, "/v1/stat", &c.stat)
 }
 
 // Stat returns the served library's metadata.
@@ -58,7 +136,7 @@ func (c *Client) Meta() livepoint.Meta {
 // Shards fetches the per-shard listing.
 func (c *Client) Shards() ([]ShardStat, error) {
 	var out []ShardStat
-	if err := c.getJSON("/v1/shards", &out); err != nil {
+	if err := c.getJSON(c.ctx, "/v1/shards", &out); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -67,26 +145,112 @@ func (c *Client) Shards() ([]ShardStat, error) {
 // Source returns a fresh source over the remote library in read order.
 func (c *Client) Source() livepoint.Source { return &remoteSource{c: c} }
 
-func (c *Client) get(path string) (*http.Response, error) {
-	resp, err := c.hc.Get(c.base + path)
-	if err != nil {
-		return nil, err
+// timeout returns the per-attempt deadline.
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
 	}
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		resp.Body.Close()
-		return nil, fmt.Errorf("lpserve: GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
-	}
-	return resp, nil
+	return DefaultTimeout
 }
 
-func (c *Client) getJSON(path string, v any) error {
-	resp, err := c.get(path)
+// cancelBody ties a per-attempt context's cancel to the response body's
+// lifetime, so the timeout also bounds body reads.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// do issues one request with per-attempt timeouts and capped-exponential
+// retry. A 2xx response is returned with its body open (Close releases the
+// attempt's context); any other outcome becomes an error, wrapping a
+// *StatusError when the server answered.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		rctx, cancel := context.WithTimeout(ctx, c.timeout())
+		req, err := http.NewRequestWithContext(rctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("lpserve: %s %s: %w", method, path, err)
+		}
+		if contentType != "" {
+			req.Header.Set("Content-Type", contentType)
+		}
+		resp, err := c.hc.Do(req)
+		switch {
+		case err != nil:
+			cancel()
+			lastErr = err
+		case resp.StatusCode/100 == 2:
+			resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+			return resp, nil
+		default:
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			resp.Body.Close()
+			cancel()
+			se := &StatusError{Code: resp.StatusCode, Msg: string(bytes.TrimSpace(msg))}
+			lastErr = se
+			if !se.retryable() {
+				return nil, fmt.Errorf("lpserve: %s %s: %w", method, path, se)
+			}
+		}
+		if attempt >= c.Retry.Max {
+			return nil, fmt.Errorf("lpserve: %s %s (after %d attempts): %w", method, path, attempt+1, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("lpserve: %s %s: %w", method, path, ctx.Err())
+		case <-time.After(c.Retry.backoff(attempt)):
+		}
+	}
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	return c.do(ctx, http.MethodGet, path, nil, "")
+}
+
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	resp, err := c.get(ctx, path)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	return json.NewDecoder(resp.Body).Decode(v)
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		return fmt.Errorf("lpserve: GET %s: decoding response: %w", path, err)
+	}
+	return nil
+}
+
+// DoJSON issues a JSON request under the client's timeout and retry
+// policy and decodes the JSON response into out (out == nil discards the
+// body). Cluster workers drive their coordinator through this.
+func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return fmt.Errorf("lpserve: %s %s: encoding request: %w", method, path, err)
+		}
+	}
+	resp, err := c.do(ctx, method, path, body, "application/json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("lpserve: %s %s: decoding response: %w", method, path, err)
+	}
+	return nil
 }
 
 func (c *Client) batchPoints() int {
@@ -101,10 +265,10 @@ func (c *Client) batchPoints() int {
 	return c.BatchPoints
 }
 
-// fetchBatch pulls the blobs at read-order positions [start, start+count)
+// FetchBatch pulls the blobs at read-order positions [start, start+count)
 // and splits the concatenated DER response.
-func (c *Client) fetchBatch(start, count int) ([][]byte, error) {
-	resp, err := c.get(fmt.Sprintf("/v1/points?start=%d&count=%d", start, count))
+func (c *Client) FetchBatch(ctx context.Context, start, count int) ([][]byte, error) {
+	resp, err := c.get(ctx, fmt.Sprintf("/v1/points?start=%d&count=%d", start, count))
 	if err != nil {
 		return nil, err
 	}
@@ -117,6 +281,39 @@ func (c *Client) fetchBatch(start, count int) ([][]byte, error) {
 			return nil, fmt.Errorf("lpserve: batch [%d,%d): point %d: %w", start, start+count, i, err)
 		}
 		blobs = append(blobs, b)
+	}
+	return blobs, nil
+}
+
+// ShardBlobs fetches one shard — its read-order index, then its stored
+// gzip bytes (the server does byte copies only) — inflates it locally,
+// and returns the shard's point blobs in read order.
+func (c *Client) ShardBlobs(ctx context.Context, sh int) ([][]byte, error) {
+	var spans []lpstore.Span
+	if err := c.getJSON(ctx, fmt.Sprintf("/v1/shards/%d/index", sh), &spans); err != nil {
+		return nil, err
+	}
+	resp, err := c.get(ctx, fmt.Sprintf("/v1/shards/%d", sh))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("lpserve: shard %d: %w", sh, err)
+	}
+	defer gz.Close()
+	data, err := io.ReadAll(gz)
+	if err != nil {
+		return nil, fmt.Errorf("lpserve: shard %d: inflating: %w", sh, err)
+	}
+	blobs := make([][]byte, len(spans))
+	for i, sp := range spans {
+		if sp.Off < 0 || sp.Off+int64(sp.Len) > int64(len(data)) {
+			return nil, fmt.Errorf("lpserve: shard %d span [%d,%d) exceeds shard length %d",
+				sh, sp.Off, sp.Off+int64(sp.Len), len(data))
+		}
+		blobs[i] = data[sp.Off : sp.Off+int64(sp.Len)]
 	}
 	return blobs, nil
 }
@@ -140,7 +337,7 @@ func (s *remoteSource) NextBlob() ([]byte, error) {
 		if s.pos+n > s.c.stat.Points {
 			n = s.c.stat.Points - s.pos
 		}
-		blobs, err := s.c.fetchBatch(s.pos, n)
+		blobs, err := s.c.FetchBatch(s.c.ctx, s.pos, n)
 		if err != nil {
 			return nil, err
 		}
@@ -160,54 +357,41 @@ func (s *remoteSource) Close() error {
 
 func (s *remoteSource) NumShards() int { return s.c.stat.Shards }
 
-// OpenShard fetches one shard's read-order index and its stored gzip
-// bytes, inflates them locally, and yields the points — the passthrough
-// fast path: the server does byte copies only.
+// OpenShard fetches one shard through the raw-gzip passthrough fast path
+// and yields its points in read order.
 func (s *remoteSource) OpenShard(sh int) (livepoint.Source, error) {
-	var spans []lpstore.Span
-	if err := s.c.getJSON(fmt.Sprintf("/v1/shards/%d/index", sh), &spans); err != nil {
-		return nil, err
-	}
-	resp, err := s.c.get(fmt.Sprintf("/v1/shards/%d", sh))
+	blobs, err := s.c.ShardBlobs(s.c.ctx, sh)
 	if err != nil {
 		return nil, err
 	}
-	defer resp.Body.Close()
-	gz, err := gzip.NewReader(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("lpserve: shard %d: %w", sh, err)
-	}
-	defer gz.Close()
-	data, err := io.ReadAll(gz)
-	if err != nil {
-		return nil, fmt.Errorf("lpserve: shard %d: inflating: %w", sh, err)
-	}
-	return &remoteShardSource{meta: s.c.Meta(), data: data, spans: spans}, nil
+	return &blobSource{meta: s.c.Meta(), blobs: blobs}, nil
 }
 
-// remoteShardSource yields one fetched shard's points in read order.
-type remoteShardSource struct {
+// blobSource yields an already-fetched slice of blobs in order.
+type blobSource struct {
 	meta  livepoint.Meta
-	data  []byte
-	spans []lpstore.Span
+	blobs [][]byte
 	pos   int
 }
 
-func (s *remoteShardSource) Meta() livepoint.Meta { return s.meta }
+func (s *blobSource) Meta() livepoint.Meta { return s.meta }
 
-func (s *remoteShardSource) NextBlob() ([]byte, error) {
-	if s.pos >= len(s.spans) {
+func (s *blobSource) NextBlob() ([]byte, error) {
+	if s.pos >= len(s.blobs) {
 		return nil, io.EOF
 	}
-	sp := s.spans[s.pos]
-	if sp.Off < 0 || sp.Off+int64(sp.Len) > int64(len(s.data)) {
-		return nil, fmt.Errorf("lpserve: shard span [%d,%d) exceeds shard length %d", sp.Off, sp.Off+int64(sp.Len), len(s.data))
-	}
+	b := s.blobs[s.pos]
 	s.pos++
-	return s.data[sp.Off : sp.Off+int64(sp.Len)], nil
+	return b, nil
 }
 
-func (s *remoteShardSource) Close() error {
-	s.data = nil
+func (s *blobSource) Close() error {
+	s.blobs = nil
 	return nil
+}
+
+// IsStatus reports whether err wraps a *StatusError with the given code.
+func IsStatus(err error, code int) bool {
+	var se *StatusError
+	return errors.As(err, &se) && se.Code == code
 }

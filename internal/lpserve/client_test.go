@@ -1,0 +1,136 @@
+package lpserve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastRetry keeps the error-path tests quick without changing semantics.
+var fastRetry = RetryPolicy{Max: 2, Base: time.Millisecond, Cap: 4 * time.Millisecond}
+
+func testClient(t *testing.T, h http.HandlerFunc) *Client {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.Retry = fastRetry
+	return c
+}
+
+// A persistent 5xx is retried Max times, then surfaces as a StatusError.
+func TestClientRetriesServerErrors(t *testing.T) {
+	var hits atomic.Int32
+	c := testClient(t, func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "shard cache on fire", http.StatusInternalServerError)
+	})
+	err := c.Refresh(context.Background())
+	if !IsStatus(err, http.StatusInternalServerError) {
+		t.Fatalf("got %v, want wrapped 500", err)
+	}
+	if got, want := hits.Load(), int32(fastRetry.Max+1); got != want {
+		t.Fatalf("server saw %d attempts, want %d", got, want)
+	}
+	if !strings.Contains(err.Error(), "shard cache on fire") {
+		t.Fatalf("server message lost: %v", err)
+	}
+}
+
+// A transient 5xx burst shorter than the retry budget is invisible to the
+// caller.
+func TestClientRetrySucceeds(t *testing.T) {
+	var hits atomic.Int32
+	c := testClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "warming up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"benchmark":"syn.gzip","points":7}`))
+	})
+	if err := c.Refresh(context.Background()); err != nil {
+		t.Fatalf("refresh after transient 503s: %v", err)
+	}
+	if c.Stat().Points != 7 {
+		t.Fatalf("stat not refreshed: %+v", c.Stat())
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("server saw %d attempts, want 3", hits.Load())
+	}
+}
+
+// 4xx means the request itself is wrong; retrying would only repeat it.
+func TestClientDoesNotRetryClientErrors(t *testing.T) {
+	var hits atomic.Int32
+	c := testClient(t, func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "no such shard", http.StatusNotFound)
+	})
+	_, err := c.ShardBlobs(context.Background(), 99)
+	if !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("got %v, want wrapped 404", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("server saw %d attempts for a 404, want 1", hits.Load())
+	}
+}
+
+// A body that ends mid-element (server died while streaming) must be an
+// error, not a short batch.
+func TestClientTruncatedBody(t *testing.T) {
+	c := testClient(t, func(w http.ResponseWriter, r *http.Request) {
+		// A DER header promising 0x1000 content bytes, then nothing.
+		w.Write([]byte{0x30, 0x82, 0x10, 0x00})
+	})
+	if _, err := c.FetchBatch(context.Background(), 0, 2); err == nil {
+		t.Fatal("truncated batch body accepted")
+	}
+}
+
+// Garbage JSON from a confused proxy must fail decode, not poison Stat.
+func TestClientMalformedJSON(t *testing.T) {
+	c := testClient(t, func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("<html>502 Bad Gateway</html>"))
+	})
+	err := c.Refresh(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "decoding response") {
+		t.Fatalf("got %v, want a decode error", err)
+	}
+}
+
+// Nothing listening: transport errors are retried, then reported.
+func TestClientUnreachableHost(t *testing.T) {
+	ts := httptest.NewServer(http.NotFoundHandler())
+	url := ts.URL
+	ts.Close() // the port is now dead
+	c := New(url)
+	c.Retry = fastRetry
+	if err := c.Refresh(context.Background()); err == nil {
+		t.Fatal("refresh against a dead port succeeded")
+	}
+	if _, err := Dial(url); err == nil {
+		t.Fatal("dial against a dead port succeeded")
+	}
+}
+
+// A cancelled context stops the retry loop immediately.
+func TestClientContextCancel(t *testing.T) {
+	c := testClient(t, func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "busy", http.StatusServiceUnavailable)
+	})
+	c.Retry = RetryPolicy{Max: 50, Base: 10 * time.Millisecond, Cap: 10 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	err := c.Refresh(ctx)
+	if err == nil {
+		t.Fatal("refresh survived a cancelled context")
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("retry loop ignored cancellation for %v", elapsed)
+	}
+}

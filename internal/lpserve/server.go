@@ -28,6 +28,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"time"
 
 	"livepoints/internal/lpstore"
 )
@@ -65,10 +66,20 @@ func NewServer(st *lpstore.Store) *Server {
 // Handler returns the routing handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
+// Extend registers an additional handler on the server's mux — the hook a
+// cluster coordinator (internal/lpcluster) uses to mount its lease and
+// result endpoints beside the store's. Call before Serve.
+func (s *Server) Extend(pattern string, h http.HandlerFunc) { s.mux.HandleFunc(pattern, h) }
+
 // Serve accepts connections on l until Shutdown. It returns nil after a
-// graceful shutdown.
+// graceful shutdown. The server bounds header reads and idle keep-alive
+// connections so slow or abandoned clients cannot pin goroutines forever.
 func (s *Server) Serve(l net.Listener) error {
-	s.hs = &http.Server{Handler: s.mux}
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	if err := s.hs.Serve(l); err != nil && err != http.ErrServerClosed {
 		return err
 	}

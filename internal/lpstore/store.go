@@ -317,6 +317,23 @@ func (st *Store) ShardReadOrder(s int) ([]Span, error) {
 	return spans, nil
 }
 
+// ShardReadPositions returns the global read-order positions of shard s's
+// points, in the shard's read order — parallel to ShardReadOrder's spans.
+// Cluster coordinators use it to map a shard lease's results back onto
+// library positions.
+func (st *Store) ShardReadPositions(s int) ([]int, error) {
+	if s < 0 || s >= len(st.shards) {
+		return nil, fmt.Errorf("lpstore: shard %d out of range [0,%d)", s, len(st.shards))
+	}
+	pos := make([]int, 0, st.shards[s].points)
+	for i, phys := range st.order {
+		if st.points[phys].shard == s {
+			pos = append(pos, i)
+		}
+	}
+	return pos, nil
+}
+
 // PointBlob returns the encoded live-point at read-order position i. Cost
 // is one shard decompression; batch readers should prefer Blobs, Source,
 // or per-shard sources, which amortize it.

@@ -71,6 +71,14 @@ func (mp *MatchedPair) Add(base, exp float64) {
 	mp.Delta.Add(exp - base)
 }
 
+// Merge folds another matched-pair accumulator into mp, composing partial
+// comparisons built on independent workers into one (see Estimate.Merge).
+func (mp *MatchedPair) Merge(other MatchedPair) {
+	mp.Base.Merge(other.Base)
+	mp.Exp.Merge(other.Exp)
+	mp.Delta.Merge(other.Delta)
+}
+
 // N returns the number of pairs.
 func (mp *MatchedPair) N() int { return mp.Delta.N() }
 

@@ -52,6 +52,73 @@ func TestEstimateQuickAgainstTwoPass(t *testing.T) {
 	}
 }
 
+func TestEstimateMergeQuickAgainstSerial(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(400)
+		xs := make([]float64, n)
+		var serial Estimate
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*2 + 5
+			serial.Add(xs[i])
+		}
+		// Split into random-size partials and merge them back together.
+		var merged Estimate
+		for start := 0; start < n; {
+			end := start + 1 + rng.Intn(n-start)
+			var part Estimate
+			for _, x := range xs[start:end] {
+				part.Add(x)
+			}
+			merged.Merge(part)
+			start = end
+		}
+		return merged.N() == serial.N() &&
+			math.Abs(merged.Mean()-serial.Mean()) < 1e-9 &&
+			math.Abs(merged.Var()-serial.Var()) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateMergeEmpty(t *testing.T) {
+	var a, b Estimate
+	a.Add(1)
+	a.Add(3)
+	want := a
+	a.Merge(b) // merging an empty estimate is a no-op
+	if a != want {
+		t.Fatalf("merge with empty changed estimate: %+v", a)
+	}
+	b.Merge(a) // merging into an empty estimate copies
+	if b != want {
+		t.Fatalf("merge into empty: %+v, want %+v", b, want)
+	}
+}
+
+func TestMatchedPairMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var serial, left, right MatchedPair
+	for i := 0; i < 100; i++ {
+		b, e := rng.NormFloat64()+2, rng.NormFloat64()+2.1
+		serial.Add(b, e)
+		if i < 37 {
+			left.Add(b, e)
+		} else {
+			right.Add(b, e)
+		}
+	}
+	left.Merge(right)
+	if left.N() != serial.N() || math.Abs(left.MeanDelta()-serial.MeanDelta()) > 1e-9 {
+		t.Fatalf("merged pair n=%d Δ=%v, want n=%d Δ=%v",
+			left.N(), left.MeanDelta(), serial.N(), serial.MeanDelta())
+	}
+	if math.Abs(left.DeltaCI(3)-serial.DeltaCI(3)) > 1e-9 {
+		t.Fatalf("merged ΔCI %v, want %v", left.DeltaCI(3), serial.DeltaCI(3))
+	}
+}
+
 func TestRequiredN(t *testing.T) {
 	// Paper arithmetic: ±3% at z=3 with CV=1 needs (3*1/0.03)^2 = 10000.
 	if n := RequiredN(1.0, 3, 0.03); n != 10000 {

@@ -95,6 +95,7 @@ func main() {
 	stat := st.Stat()
 	log.Printf("serving %s (%d points, %d shards, shuffled=%v) on http://%s",
 		stat.Benchmark, stat.Points, stat.Shards, stat.Shuffled, l.Addr())
+	log.Printf("metrics (Prometheus text format) at http://%s/metrics", l.Addr())
 
 	srv := lpserve.NewServer(st)
 	if *cluster {

@@ -21,11 +21,13 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"time"
 
 	"livepoints"
 	"livepoints/internal/lpcluster"
 	"livepoints/internal/lpserve"
+	"livepoints/internal/obs"
 )
 
 func main() {
@@ -144,7 +146,9 @@ func main() {
 }
 
 // watchCluster polls a coordinator's run state until the fleet finishes,
-// then prints the folded result in the same shape as a local run.
+// emitting a structured (logfmt) progress line per change — fold rate,
+// live confidence interval against its target, ETA on whole-library
+// runs — then prints the folded result in the same shape as a local run.
 func watchCluster(url string) {
 	ctx := context.Background()
 	cl, err := lpserve.DialContext(ctx, url)
@@ -158,11 +162,22 @@ func watchCluster(url string) {
 	log.Printf("watching %s cluster run at %s: %d points, target err %v",
 		st.Spec.Mode, url, st.Points, st.Spec.RelErr)
 
+	logger := obs.NewLogger(os.Stderr, obs.LevelInfo, "lpsim")
 	lastDone := -1
 	for st.Phase != lpcluster.PhaseDone {
 		if st.Done != lastDone {
-			log.Printf("progress: %d/%d points done, %d active leases, %d reassigned",
-				st.Done, st.Points, st.ActiveLeases, st.Reassigned)
+			kv := []any{
+				"done", st.Done, "total", st.Points,
+				"active", st.ActiveLeases, "reassigned", st.Reassigned,
+				"pointsPerSec", st.PointsPerSec,
+			}
+			if st.TargetRelErr > 0 {
+				kv = append(kv, "relCI", st.RelCI, "target", st.TargetRelErr)
+			}
+			if st.EtaMillis > 0 {
+				kv = append(kv, "eta", time.Duration(st.EtaMillis)*time.Millisecond)
+			}
+			logger.Info("fleet progress", kv...)
 			lastDone = st.Done
 		}
 		time.Sleep(500 * time.Millisecond)

@@ -10,6 +10,12 @@
 // Workers are stateless and crash-safe: a worker that dies mid-lease is
 // simply outwaited — the coordinator reassigns its lease after the TTL.
 // SIGINT/SIGTERM stop the pullers at the next lease boundary.
+//
+// While pulling, the process emits a structured (logfmt) fleet-progress
+// line every -progress interval — points folded fleet-wide, fold rate,
+// the live confidence interval against its target, and the ETA on
+// whole-library runs — read straight from the coordinator's GET /v1/run.
+// -v adds a debug line per completed lease.
 package main
 
 import (
@@ -17,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -25,6 +32,7 @@ import (
 
 	"livepoints/internal/lpcluster"
 	"livepoints/internal/lpserve"
+	"livepoints/internal/obs"
 )
 
 func main() {
@@ -32,6 +40,8 @@ func main() {
 		coord    = flag.String("coord", "", "coordinator base URL (required), e.g. http://host:8147")
 		parallel = flag.Int("parallel", 1, "concurrent lease pullers in this process")
 		id       = flag.String("id", "", "worker id reported in leases (default host-pid)")
+		progress = flag.Duration("progress", 10*time.Second, "fleet progress report interval (0 disables)")
+		verbose  = flag.Bool("v", false, "log every completed lease")
 	)
 	flag.Parse()
 	if *coord == "" {
@@ -53,12 +63,19 @@ func main() {
 	log.Printf("pulling leases from %s (%s, %d points, %d shards)",
 		*coord, stat.Benchmark, stat.Points, stat.Shards)
 
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level, "lpworker")
+
 	t0 := time.Now()
 	workers := make([]*lpcluster.Worker, *parallel)
 	var wg sync.WaitGroup
 	errs := make(chan error, *parallel)
 	for i := range workers {
 		w := lpcluster.NewWorker(fmt.Sprintf("%s/%d", *id, i), cl)
+		w.Log = logger
 		workers[i] = w
 		wg.Add(1)
 		go func() {
@@ -67,6 +84,9 @@ func main() {
 				errs <- err
 			}
 		}()
+	}
+	if *progress > 0 {
+		go reportProgress(ctx, cl, logger, *progress)
 	}
 	wg.Wait()
 	close(errs)
@@ -86,4 +106,38 @@ func main() {
 	}
 	log.Printf("done: %d leases, %d points simulated (%d leases lost to expiry) in %v",
 		leases, points, expired, time.Since(t0).Round(time.Millisecond))
+}
+
+// reportProgress polls the coordinator's run state and logs one logfmt
+// progress line per interval until the run finishes or ctx is cancelled.
+func reportProgress(ctx context.Context, cl *lpserve.Client, logger *obs.Logger, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var st lpcluster.RunState
+		if err := cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &st); err != nil {
+			logger.Warn("progress poll failed", "err", err)
+			continue
+		}
+		if st.Phase == lpcluster.PhaseDone {
+			return
+		}
+		kv := []any{
+			"done", st.Done, "total", st.Points,
+			"active", st.ActiveLeases, "reassigned", st.Reassigned,
+			"pointsPerSec", st.PointsPerSec,
+		}
+		if st.TargetRelErr > 0 {
+			kv = append(kv, "relCI", st.RelCI, "target", st.TargetRelErr)
+		}
+		if st.EtaMillis > 0 {
+			kv = append(kv, "eta", time.Duration(st.EtaMillis)*time.Millisecond)
+		}
+		logger.Info("fleet progress", kv...)
+	}
 }

@@ -339,27 +339,39 @@ func SimBlobs(blobs [][]byte, cfg uarch.Config) ([]float64, *RunResult, error) {
 
 // SimBlobsMatched is SimBlobs for matched-pair runs: every point is
 // simulated under both configurations and the paired CPIs are returned in
-// input order.
-func SimBlobsMatched(blobs [][]byte, base, exp uarch.Config) (baseCPIs, expCPIs []float64, err error) {
+// input order, plus a RunResult aggregating decode/simulation timings and
+// the baseline configuration's wrong-path counters — the same telemetry
+// the absolute path reports, so cluster workers post identical timing
+// fields in either mode.
+func SimBlobsMatched(blobs [][]byte, base, exp uarch.Config) (baseCPIs, expCPIs []float64, res *RunResult, err error) {
+	res = &RunResult{}
+	online := sampling.NewOnline(sampling.Z997, 0, false)
 	baseCPIs = make([]float64, 0, len(blobs))
 	expCPIs = make([]float64, 0, len(blobs))
 	for _, blob := range blobs {
+		t0 := time.Now()
 		lp, err := Decode(blob)
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
+		res.LoadTime += time.Since(t0)
+
+		t0 = time.Now()
 		b, err := Simulate(lp, base)
 		if err != nil {
-			return nil, nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
+			return nil, nil, nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
 		}
 		e, err := Simulate(lp, exp)
 		if err != nil {
-			return nil, nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
+			return nil, nil, nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
 		}
+		res.SimTime += time.Since(t0)
+		res.fold(b, online)
 		baseCPIs = append(baseCPIs, b.UnitCPI)
 		expCPIs = append(expCPIs, e.UnitCPI)
 	}
-	return baseCPIs, expCPIs, nil
+	res.Est = *online.Estimate()
+	return baseCPIs, expCPIs, res, nil
 }
 
 // MatchedOpts configures a matched-pair comparative experiment (§6.2).

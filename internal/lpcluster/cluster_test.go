@@ -1,6 +1,7 @@
 package lpcluster
 
 import (
+	"bytes"
 	"context"
 	"math/rand"
 	"net/http"
@@ -8,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -17,6 +19,7 @@ import (
 	"livepoints/internal/livepoint"
 	"livepoints/internal/lpserve"
 	"livepoints/internal/lpstore"
+	"livepoints/internal/obs"
 	"livepoints/internal/prog"
 	"livepoints/internal/sampling"
 	"livepoints/internal/uarch"
@@ -244,6 +247,11 @@ func TestClusterMatchedParity(t *testing.T) {
 	if res.Processed != local.Processed {
 		t.Fatalf("cluster processed %d pairs, local %d", res.Processed, local.Processed)
 	}
+	// Matched-mode workers must report their runner stats like absolute
+	// ones: a whole library of paired sims cannot have taken zero time.
+	if res.SimTime <= 0 {
+		t.Fatalf("matched cluster run dropped worker sim time: %v", res.SimTime)
+	}
 }
 
 // TestLeaseExpiryReassignment injects a worker crash: a worker acquires a
@@ -273,9 +281,14 @@ func TestLeaseExpiryReassignment(t *testing.T) {
 
 	// The surviving worker drains everything, including the reassigned
 	// lease once its TTL passes.
+	var logBuf bytes.Buffer
 	w := NewWorker("survivor", cl)
+	w.Log = obs.NewLogger(&logBuf, obs.LevelDebug, "worker")
 	if err := w.Run(ctx); err != nil {
 		t.Fatal(err)
+	}
+	if !strings.Contains(logBuf.String(), `msg="lease done"`) {
+		t.Errorf("worker logged no per-lease progress lines:\n%s", logBuf.String())
 	}
 
 	res, ok := coord.Final()
@@ -358,6 +371,171 @@ func TestResultRejection(t *testing.T) {
 	// ...and a duplicate is refused.
 	if _, err := coord.Result(good); err != ErrDuplicate {
 		t.Fatalf("duplicate: %v, want ErrDuplicate", err)
+	}
+}
+
+// TestStragglerAfterFinish covers the late-result path once the stopping
+// rule has fired: the straggler's lease must resolve (leave the active
+// count, answer 409 to a duplicate) without perturbing the sealed
+// estimate.
+func TestStragglerAfterFinish(t *testing.T) {
+	st := synthStore(t, 60, 8, true)
+	reg := obs.NewRegistry()
+	coord, err := NewCoordinator(st, RunSpec{RelErr: 0.5}, Options{LeasePoints: 30, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	la := coord.Acquire("w1")
+	lb := coord.Acquire("w2")
+	if la.Lease == nil || lb.Lease == nil {
+		t.Fatalf("leases not issued: %+v / %+v", la, lb)
+	}
+
+	// Constant CPIs: zero variance, so the fold satisfies any relative
+	// target the moment n reaches the CLT floor (LeasePoints ==
+	// MinSampleSize makes that this very post).
+	cpis := make([]float64, la.Lease.Points)
+	for i := range cpis {
+		cpis[i] = 1
+	}
+	resp, err := coord.Result(&Result{LeaseID: la.Lease.ID, Worker: "w1", CPIs: cpis})
+	if err != nil || !resp.Accepted || !resp.Done {
+		t.Fatalf("finishing result: %+v, %v", resp, err)
+	}
+	mid := coord.State()
+	if mid.Phase != PhaseDone {
+		t.Fatalf("run not done after zero-variance fold: %+v", mid)
+	}
+	if mid.ActiveLeases != 1 {
+		t.Fatalf("straggling lease should still be active: %+v", mid)
+	}
+
+	// The straggler posts after the finish line: acknowledged but not
+	// folded, and accounted out of the active set.
+	bcpis := make([]float64, lb.Lease.Points)
+	resp, err = coord.Result(&Result{LeaseID: lb.Lease.ID, Worker: "w2", CPIs: bcpis})
+	if err != nil {
+		t.Fatalf("straggler result: %v", err)
+	}
+	if resp.Accepted || !resp.Done {
+		t.Fatalf("straggler verdict %+v, want accepted=false done=true", resp)
+	}
+	if got := coord.State().ActiveLeases; got != 0 {
+		t.Fatalf("straggler left active-lease count at %d", got)
+	}
+	res, _ := coord.Final()
+	if res.Est.N() != la.Lease.Points {
+		t.Fatalf("straggler was folded: n=%d, want %d", res.Est.N(), la.Lease.Points)
+	}
+	if _, err := coord.Result(&Result{LeaseID: lb.Lease.ID, Worker: "w2", CPIs: bcpis}); err != ErrDuplicate {
+		t.Fatalf("straggler repost: %v, want ErrDuplicate", err)
+	}
+	if got := reg.Counter("lpcluster_straggler_results_total", "").Value(); got != 1 {
+		t.Fatalf("straggler counter %d, want 1", got)
+	}
+}
+
+// TestOversizedLeaseClamp checks a lease can never cover more points than
+// one /v1/points response may carry: Options.LeasePoints above
+// lpserve.MaxBatchPoints is clamped, not passed through.
+func TestOversizedLeaseClamp(t *testing.T) {
+	st := synthStore(t, lpserve.MaxBatchPoints+200, 512, true)
+	coord, err := NewCoordinator(st, RunSpec{RelErr: 0.01}, Options{LeasePoints: 100_000, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.opt.LeasePoints != lpserve.MaxBatchPoints {
+		t.Fatalf("LeasePoints %d, want clamp to %d", coord.opt.LeasePoints, lpserve.MaxBatchPoints)
+	}
+	lr := coord.Acquire("w")
+	if lr.Lease == nil {
+		t.Fatalf("no lease: %+v", lr)
+	}
+	if lr.Lease.Kind != LeaseRange || lr.Lease.Points != lpserve.MaxBatchPoints {
+		t.Fatalf("lease %+v, want a %d-point range", lr.Lease, lpserve.MaxBatchPoints)
+	}
+}
+
+// TestStateReclaimsExpiredLeases: a scrape or /v1/run poll alone — no
+// Acquire traffic — must surface a crashed worker's lease as pending, not
+// leave it active forever.
+func TestStateReclaimsExpiredLeases(t *testing.T) {
+	st := synthStore(t, 40, 8, true)
+	coord, err := NewCoordinator(st, RunSpec{}, Options{LeaseTTL: 30 * time.Millisecond, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr := coord.Acquire("crash"); lr.Lease == nil {
+		t.Fatalf("no lease: %+v", lr)
+	}
+	time.Sleep(60 * time.Millisecond)
+	rs := coord.State()
+	if rs.ActiveLeases != 0 || rs.PendingLeases != 1 || rs.Reassigned != 1 {
+		t.Fatalf("State did not reclaim the expired lease: %+v", rs)
+	}
+}
+
+// TestRunStateProgress covers GET /v1/run mid-run: the zero-fold state
+// must round-trip JSON (regression: an empty estimate's relative CI is
+// +Inf, which encoding/json refuses — the response body came back empty),
+// and after one partial the live estimate and fold rate must be visible.
+func TestRunStateProgress(t *testing.T) {
+	st := synthStore(t, 60, 8, true)
+	coord, err := NewCoordinator(st, RunSpec{RelErr: 0.01}, Options{LeasePoints: 20, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := lpserve.NewServerWithMetrics(st, obs.NewRegistry())
+	coord.Mount(srv)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	cl, err := lpserve.Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	var rs RunState
+	if err := cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &rs); err != nil {
+		t.Fatalf("zero-fold /v1/run failed to round-trip: %v", err)
+	}
+	if rs.Phase != PhaseRunning || rs.N != 0 || rs.RelCI != 0 || rs.Mean != 0 {
+		t.Fatalf("zero-fold state %+v", rs)
+	}
+	if rs.TargetRelErr != 0.01 {
+		t.Fatalf("TargetRelErr %v, want 0.01", rs.TargetRelErr)
+	}
+
+	// Fold one partial with real variance (far from the 1% target, and
+	// below MinSampleSize, so the run keeps going).
+	var lr LeaseResponse
+	if err := cl.DoJSON(ctx, http.MethodPost, "/v1/leases", LeaseRequest{Worker: "w"}, &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Lease == nil {
+		t.Fatalf("no lease: %+v", lr)
+	}
+	cpis := make([]float64, lr.Lease.Points)
+	for i := range cpis {
+		cpis[i] = 1 + float64(i%5)
+	}
+	if err := cl.DoJSON(ctx, http.MethodPost, "/v1/results",
+		&Result{LeaseID: lr.Lease.ID, Worker: "w", CPIs: cpis}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &rs); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Phase != PhaseRunning {
+		t.Fatalf("run finished prematurely: %+v", rs)
+	}
+	if rs.N != lr.Lease.Points || rs.Mean <= 0 || rs.RelCI <= 0 {
+		t.Fatalf("mid-run estimate not live: %+v", rs)
+	}
+	if rs.PointsPerSec <= 0 {
+		t.Fatalf("mid-run fold rate missing: %+v", rs)
 	}
 }
 

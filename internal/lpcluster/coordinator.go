@@ -3,17 +3,21 @@ package lpcluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"livepoints/internal/lpserve"
 	"livepoints/internal/lpstore"
+	"livepoints/internal/obs"
 	"livepoints/internal/sampling"
 )
 
 // Options tunes coordinator scheduling.
 type Options struct {
 	// LeasePoints is the range-lease size (default 64, matching the
-	// client's ranged-fetch batch).
+	// client's ranged-fetch batch; clamped to lpserve.MaxBatchPoints so
+	// a lease never exceeds what one /v1/points response may carry).
 	LeasePoints int
 	// LeaseTTL is how long a worker has to post a lease's result before
 	// the points are reassigned (default 60s).
@@ -21,17 +25,29 @@ type Options struct {
 	// WaitHint is the retry delay suggested to workers when all
 	// outstanding work is leased (default 200ms).
 	WaitHint time.Duration
+	// Metrics receives the coordinator's lease/progress series (default
+	// obs.Default).
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
 	if o.LeasePoints <= 0 {
 		o.LeasePoints = 64
 	}
+	if o.LeasePoints > lpserve.MaxBatchPoints {
+		// Workers fetch ranges in MaxBatchPoints chunks, so larger
+		// leases would work — but they also ride one TTL, and a lease
+		// the server cannot answer in one response buys nothing.
+		o.LeasePoints = lpserve.MaxBatchPoints
+	}
 	if o.LeaseTTL <= 0 {
 		o.LeaseTTL = 60 * time.Second
 	}
 	if o.WaitHint <= 0 {
 		o.WaitHint = 200 * time.Millisecond
+	}
+	if o.Metrics == nil {
+		o.Metrics = obs.Default
 	}
 	return o
 }
@@ -61,7 +77,7 @@ type lease struct {
 
 // ClusterResult is the folded outcome of a cluster run.
 type ClusterResult struct {
-	Est             sampling.Estimate   // absolute mode
+	Est             sampling.Estimate    // absolute mode
 	MP              sampling.MatchedPair // matched mode
 	Processed       int
 	Stopped         bool // §6.1 rule fired before exhausting the library
@@ -114,6 +130,13 @@ type Coordinator struct {
 
 	unknownFetches, unknownLoads, captureErrors uint64
 	loadTime, simTime                           time.Duration
+
+	// Counters are resolved once at construction so hot paths touch only
+	// atomics while holding mu (registry lookups take the registry lock,
+	// which scrapes also hold — never nest the two).
+	mLeasesIssued, mReassigned, mPointsFolded *obs.Counter
+	mRejGone, mRejDuplicate, mRejMismatch     *obs.Counter
+	mStragglers                               *obs.Counter
 }
 
 // NewCoordinator validates the spec against the store and returns an idle
@@ -144,7 +167,76 @@ func NewCoordinator(st *lpstore.Store, spec RunSpec, opt Options) (*Coordinator,
 	} else {
 		c.values = make([]float64, n)
 	}
+	c.registerMetrics()
 	return c, nil
+}
+
+// registerMetrics wires the coordinator's gauges into its registry.
+// Counters are resolved at their call sites; the scrape-time gauge
+// callbacks read coordinator state under its lock (and reclaim expired
+// leases first, so a scrape never shows a crashed worker as active).
+// Re-registering replaces the previous run's callbacks, so the registry
+// always reflects the newest coordinator in the process.
+func (c *Coordinator) registerMetrics() {
+	reg := c.opt.Metrics
+	c.mLeasesIssued = reg.Counter("lpcluster_leases_issued_total", "Leases handed to workers, including reissues.")
+	c.mReassigned = reg.Counter("lpcluster_leases_reassigned_total", "Leases revoked after TTL expiry and queued for reassignment.")
+	c.mPointsFolded = reg.Counter("lpcluster_points_folded_total", "Per-point observations folded into the fleet-wide estimate.")
+	c.mRejGone = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "gone")
+	c.mRejDuplicate = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "duplicate")
+	c.mRejMismatch = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "mismatch")
+	c.mStragglers = reg.Counter("lpcluster_straggler_results_total", "Results that arrived after the run finished (acknowledged, not folded).")
+	locked := func(f func() float64) func() float64 {
+		return func() float64 {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			c.reclaimLocked()
+			return f()
+		}
+	}
+	reg.GaugeFunc("lpcluster_leases_active", "Leases issued and not yet completed, expired, or revoked.",
+		locked(func() float64 { return float64(c.active) }))
+	reg.GaugeFunc("lpcluster_leases_pending", "Reclaimed leases awaiting reassignment.",
+		locked(func() float64 { return float64(len(c.pending)) }))
+	reg.GaugeFunc("lpcluster_points_done", "Read-order positions with a folded result.",
+		locked(func() float64 { return float64(c.done) }))
+	reg.GaugeFunc("lpcluster_progress_relci", "Current relative CI half-width of the fleet-wide estimate (0 until the fold starts).",
+		locked(func() float64 { return c.relCILocked() }))
+	reg.GaugeFunc("lpcluster_run_finished", "1 once the run has finished, else 0.",
+		locked(func() float64 {
+			if c.finished {
+				return 1
+			}
+			return 0
+		}))
+	reg.Gauge("lpcluster_progress_target", "Online stopping target (relative error); 0 for whole-library runs.").Set(c.spec.RelErr)
+	reg.Gauge("lpcluster_points_total", "Read-order positions in the library.").Set(float64(c.st.Count()))
+}
+
+// relCILocked is the live stopping-rule signal: the relative confidence
+// half-width of whatever the fleet has folded so far (matched mode
+// measures the delta CI against the baseline mean, the §6.2 yardstick).
+// Before any fold the estimate is degenerate (RelCI is +Inf on a zero
+// mean); that renders as 0 so the value stays JSON-encodable downstream.
+func (c *Coordinator) relCILocked() float64 {
+	if c.spec.Mode == ModeMatched {
+		if c.mp.Base.Mean() == 0 {
+			return 0
+		}
+		return finite(c.mp.DeltaCI(c.spec.Z) / c.mp.Base.Mean())
+	}
+	return finite(c.online.RelCI(c.spec.Z))
+}
+
+// finite maps NaN and ±Inf to 0. The degenerate corners of an empty or
+// single-observation estimate produce non-finite values, and
+// encoding/json refuses those outright — the whole /v1/run body would be
+// lost to report a confidence interval that carries no information.
+func finite(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Spec returns the run specification (defaults resolved).
@@ -162,8 +254,13 @@ func (c *Coordinator) stoppingActive() bool {
 
 // reclaimLocked revokes expired leases and queues their points for
 // reassignment under fresh lease ids. A late result for a revoked lease
-// is rejected (ErrLeaseGone), so every position folds exactly once.
+// is rejected (ErrLeaseGone), so every position folds exactly once. After
+// the run finishes nothing is reclaimed: outstanding leases resolve
+// through the straggler path in Result instead.
 func (c *Coordinator) reclaimLocked() {
+	if c.finished {
+		return
+	}
 	now := time.Now()
 	for _, l := range c.leases {
 		if l.done || l.revoked || now.Before(l.deadline) {
@@ -172,6 +269,7 @@ func (c *Coordinator) reclaimLocked() {
 		l.revoked = true
 		c.active--
 		c.reassigned++
+		c.mReassigned.Inc()
 		c.pending = append(c.pending, &lease{
 			kind:      l.kind,
 			shard:     l.shard,
@@ -235,6 +333,7 @@ func (c *Coordinator) Acquire(worker string) LeaseResponse {
 	l.deadline = time.Now().Add(c.opt.LeaseTTL)
 	c.leases[l.id] = l
 	c.active++
+	c.mLeasesIssued.Inc()
 	return LeaseResponse{Lease: &Lease{
 		ID:        l.id,
 		Kind:      l.kind,
@@ -256,28 +355,39 @@ func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
 	defer c.mu.Unlock()
 	l, ok := c.leases[res.LeaseID]
 	if !ok || l.revoked {
+		c.mRejGone.Inc()
 		return ResultResponse{}, ErrLeaseGone
 	}
 	if l.done {
+		c.mRejDuplicate.Inc()
 		return ResultResponse{}, ErrDuplicate
 	}
 	if c.finished {
-		// Stragglers after the stopping rule fired: nothing to fold.
+		// Straggler after the stopping rule fired: nothing to fold, but
+		// the lease is resolved — it must leave the active count and a
+		// second post must draw the usual 409, exactly as if the result
+		// had landed in time.
+		l.done = true
+		c.active--
+		c.mStragglers.Inc()
 		return ResultResponse{Accepted: false, Done: true}, nil
 	}
 	n := len(l.positions)
 	matched := c.spec.Mode == ModeMatched
 	if matched {
 		if len(res.BaseCPIs) != n || len(res.ExpCPIs) != n {
+			c.mRejMismatch.Inc()
 			return ResultResponse{}, fmt.Errorf("lpcluster: lease %d: got %d/%d paired CPIs, want %d",
 				res.LeaseID, len(res.BaseCPIs), len(res.ExpCPIs), n)
 		}
 	} else if len(res.CPIs) != n {
+		c.mRejMismatch.Inc()
 		return ResultResponse{}, fmt.Errorf("lpcluster: lease %d: got %d CPIs, want %d", res.LeaseID, len(res.CPIs), n)
 	}
 
 	l.done = true
 	c.active--
+	c.mPointsFolded.Add(uint64(n))
 	c.done += n
 	c.unknownFetches += res.UnknownFetches
 	c.unknownLoads += res.UnknownLoads
@@ -379,10 +489,16 @@ func (c *Coordinator) doneProcessedLocked() int {
 	return c.online.N()
 }
 
-// State snapshots the run for GET /v1/run.
+// State snapshots the run for GET /v1/run. Expired leases are reclaimed
+// first, so ActiveLeases never counts a crashed worker whose points are
+// already queued for reassignment. The estimate fields (N, Mean, RelCI —
+// or the matched-pair set) are live in both phases: any prefix of a
+// shuffled library is a valid sub-sample (§6.1), so the mid-run fold is a
+// real estimate with a real confidence interval, not just a byte count.
 func (c *Coordinator) State() RunState {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.reclaimLocked()
 	st := RunState{
 		Spec:          c.spec,
 		Points:        c.st.Count(),
@@ -392,27 +508,41 @@ func (c *Coordinator) State() RunState {
 		PendingLeases: len(c.pending),
 		Reassigned:    c.reassigned,
 	}
-	if !c.finished {
-		return st
-	}
-	st.Phase = PhaseDone
-	st.Stopped = c.stopped
-	st.StoppedNoImpact = c.noImpact
 	st.N = c.doneProcessedLocked()
 	if c.spec.Mode == ModeMatched {
-		st.BaseMean = c.mp.Base.Mean()
-		st.ExpMean = c.mp.Exp.Mean()
-		st.RelDelta = c.mp.RelDelta()
-		st.DeltaCI = c.mp.DeltaCI(c.spec.Z)
+		st.BaseMean = finite(c.mp.Base.Mean())
+		st.ExpMean = finite(c.mp.Exp.Mean())
+		st.RelDelta = finite(c.mp.RelDelta())
+		st.DeltaCI = finite(c.mp.DeltaCI(c.spec.Z))
 	} else {
-		st.Mean = c.online.Mean()
-		st.RelCI = c.online.RelCI(c.spec.Z)
+		st.Mean = finite(c.online.Mean())
+		st.RelCI = finite(c.online.RelCI(c.spec.Z))
 	}
+	st.TargetRelErr = c.spec.RelErr
 	st.UnknownFetches = c.unknownFetches
 	st.UnknownLoads = c.unknownLoads
 	st.CaptureErrors = c.captureErrors
 	st.LoadMillis = c.loadTime.Milliseconds()
 	st.SimMillis = c.simTime.Milliseconds()
-	st.ElapsedMillis = c.elapsed.Milliseconds()
+	if c.finished {
+		st.Phase = PhaseDone
+		st.Stopped = c.stopped
+		st.StoppedNoImpact = c.noImpact
+		st.ElapsedMillis = c.elapsed.Milliseconds()
+		return st
+	}
+	if c.started {
+		elapsed := time.Since(c.start)
+		st.ElapsedMillis = elapsed.Milliseconds()
+		if elapsed > 0 && c.done > 0 {
+			st.PointsPerSec = float64(c.done) / elapsed.Seconds()
+			// ETA is only honest for whole-library runs: a stopping rule
+			// may fire at any fold, so its finish time is unknowable.
+			if c.spec.RelErr <= 0 && !(c.spec.Mode == ModeMatched && c.spec.NoImpactThreshold > 0) {
+				remaining := float64(c.st.Count() - c.done)
+				st.EtaMillis = int64(remaining / st.PointsPerSec * 1000)
+			}
+		}
+	}
 	return st
 }

@@ -24,9 +24,18 @@ func (c *Coordinator) Mount(s *lpserve.Server) {
 	s.Extend("GET /v1/run", c.handleRun)
 }
 
+// writeJSON marshals before touching the ResponseWriter: encoding
+// straight into it commits a 200 status first, so a marshal failure
+// (e.g. a non-finite float) would surface to clients as an empty body
+// and a bare decode EOF rather than an explanation.
 func writeJSON(w http.ResponseWriter, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	w.Write(append(body, '\n'))
 }
 
 func (c *Coordinator) handleLeases(w http.ResponseWriter, r *http.Request) {

@@ -169,9 +169,14 @@ const (
 	PhaseDone    = "done"
 )
 
-// RunState is the coordinator's public snapshot (GET /v1/run): progress
-// while running, the folded fleet-wide result once done. lpsim -coord
-// polls it; workers read Spec from it at startup.
+// RunState is the coordinator's public snapshot (GET /v1/run): live
+// progress while running, the folded fleet-wide result once done.
+// lpsim -coord polls it; workers read Spec from it at startup.
+//
+// The estimate fields (N, Mean, RelCI, and the matched-pair set) are
+// populated in *both* phases: mid-run they report the fleet's running
+// fold — a valid estimate over the prefix seen so far (§6.1) — so
+// operators can watch the confidence interval close on TargetRelErr.
 type RunState struct {
 	Spec   RunSpec `json:"spec"`
 	Points int     `json:"points"` // library size
@@ -182,7 +187,12 @@ type RunState struct {
 	PendingLeases int `json:"pendingLeases"` // reclaimed, awaiting reassignment
 	Reassigned    int `json:"reassigned"`    // expired leases reissued so far
 
-	// Final results, valid when Phase == PhaseDone.
+	// Stopping-rule progress, live while running.
+	TargetRelErr float64 `json:"targetRelErr,omitempty"` // 0 = whole library
+	PointsPerSec float64 `json:"pointsPerSec,omitempty"` // fleet-wide fold rate
+	EtaMillis    int64   `json:"etaMillis,omitempty"`    // whole-library runs only
+
+	// Estimate so far (live) / final result (Phase == PhaseDone).
 	Stopped         bool    `json:"stopped,omitempty"` // §6.1 rule fired
 	StoppedNoImpact bool    `json:"stoppedNoImpact,omitempty"`
 	N               int     `json:"n,omitempty"`

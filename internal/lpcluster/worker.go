@@ -8,6 +8,7 @@ import (
 
 	"livepoints/internal/livepoint"
 	"livepoints/internal/lpserve"
+	"livepoints/internal/obs"
 	"livepoints/internal/uarch"
 )
 
@@ -25,6 +26,10 @@ type Worker struct {
 	// ID names the worker in leases (for operability; uniqueness is not
 	// required for correctness).
 	ID string
+
+	// Log, when set, receives a debug line per completed lease
+	// (points/s for the lease, cumulative totals). Nil logs nothing.
+	Log *obs.Logger
 
 	cl      *lpserve.Client
 	base    uarch.Config
@@ -77,6 +82,7 @@ func (w *Worker) Run(ctx context.Context) error {
 			continue
 		}
 
+		t0 := time.Now()
 		res, err := w.simulate(ctx, lr.Lease)
 		if err != nil {
 			return fmt.Errorf("lpcluster: worker %s: lease %d: %w", w.ID, lr.Lease.ID, err)
@@ -94,6 +100,11 @@ func (w *Worker) Run(ctx context.Context) error {
 		if rr.Accepted {
 			w.Leases++
 			w.Points += lr.Lease.Points
+			if d := time.Since(t0); d > 0 {
+				w.Log.Debug("lease done", "worker", w.ID, "lease", lr.Lease.ID,
+					"points", lr.Lease.Points, "pointsPerSec", float64(lr.Lease.Points)/d.Seconds(),
+					"totalPoints", w.Points)
+			}
 		}
 		if rr.Done {
 			return nil
@@ -102,7 +113,9 @@ func (w *Worker) Run(ctx context.Context) error {
 }
 
 // simulate fetches a lease's blobs (raw-gzip shard passthrough for shard
-// leases, ranged batch for range leases) and runs them locally.
+// leases, chunked ranged fetch for range leases — the server caps one
+// /v1/points response at MaxBatchPoints, so a range lease larger than the
+// cap arrives in several batches) and runs them locally.
 func (w *Worker) simulate(ctx context.Context, l *Lease) (*Result, error) {
 	t0 := time.Now()
 	var blobs [][]byte
@@ -110,7 +123,7 @@ func (w *Worker) simulate(ctx context.Context, l *Lease) (*Result, error) {
 	if l.Kind == LeaseShard {
 		blobs, err = w.cl.ShardBlobs(ctx, l.Shard)
 	} else {
-		blobs, err = w.cl.FetchBatch(ctx, l.Start, l.Count)
+		blobs, err = w.cl.FetchRange(ctx, l.Start, l.Count)
 	}
 	if err != nil {
 		return nil, err
@@ -122,12 +135,16 @@ func (w *Worker) simulate(ctx context.Context, l *Lease) (*Result, error) {
 
 	res := &Result{LeaseID: l.ID, Worker: w.ID}
 	if w.matched {
-		baseCPIs, expCPIs, err := livepoint.SimBlobsMatched(blobs, w.base, w.exp)
+		baseCPIs, expCPIs, rr, err := livepoint.SimBlobsMatched(blobs, w.base, w.exp)
 		if err != nil {
 			return nil, err
 		}
 		res.BaseCPIs, res.ExpCPIs = baseCPIs, expCPIs
-		res.LoadMillis = fetch.Milliseconds()
+		res.UnknownFetches = rr.UnknownFetches
+		res.UnknownLoads = rr.UnknownLoads
+		res.CaptureErrors = rr.CaptureErrors
+		res.LoadMillis = (fetch + rr.LoadTime).Milliseconds()
+		res.SimMillis = rr.SimTime.Milliseconds()
 	} else {
 		cpis, rr, err := livepoint.SimBlobs(blobs, w.base)
 		if err != nil {

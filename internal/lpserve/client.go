@@ -10,11 +10,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"livepoints/internal/livepoint"
 	"livepoints/internal/lpstore"
+	"livepoints/internal/obs"
 )
 
 // DefaultBatchPoints is the sequential client's ranged-fetch size.
@@ -85,6 +87,9 @@ type Client struct {
 	Timeout time.Duration
 	// Retry is the backoff schedule for transient failures.
 	Retry RetryPolicy
+	// Metrics receives the client's attempt/retry/outcome counters
+	// (default obs.Default).
+	Metrics *obs.Registry
 }
 
 // New returns a client without contacting the server; the first request
@@ -153,6 +158,14 @@ func (c *Client) timeout() time.Duration {
 	return DefaultTimeout
 }
 
+// metrics returns the registry client counters land in.
+func (c *Client) metrics() *obs.Registry {
+	if c.Metrics != nil {
+		return c.Metrics
+	}
+	return obs.Default
+}
+
 // cancelBody ties a per-attempt context's cancel to the response body's
 // lifetime, so the timeout also bounds body reads.
 type cancelBody struct {
@@ -171,8 +184,10 @@ func (b *cancelBody) Close() error {
 // attempt's context); any other outcome becomes an error, wrapping a
 // *StatusError when the server answered.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, contentType string) (*http.Response, error) {
+	reg := c.metrics()
 	var lastErr error
 	for attempt := 0; ; attempt++ {
+		reg.Counter("lpserve_client_attempts_total", "Request attempts, including retries.").Inc()
 		rctx, cancel := context.WithTimeout(ctx, c.timeout())
 		req, err := http.NewRequestWithContext(rctx, method, c.base+path, bytes.NewReader(body))
 		if err != nil {
@@ -186,11 +201,19 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 		switch {
 		case err != nil:
 			cancel()
+			reg.Counter("lpserve_client_transport_errors_total", "Attempts that failed before an HTTP status arrived.").Inc()
+			if errors.Is(err, context.DeadlineExceeded) {
+				reg.Counter("lpserve_client_timeouts_total", "Attempts that hit the per-attempt timeout.").Inc()
+			}
 			lastErr = err
 		case resp.StatusCode/100 == 2:
+			reg.Counter("lpserve_client_responses_total", "Server responses by status code.",
+				"code", strconv.Itoa(resp.StatusCode)).Inc()
 			resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
 			return resp, nil
 		default:
+			reg.Counter("lpserve_client_responses_total", "Server responses by status code.",
+				"code", strconv.Itoa(resp.StatusCode)).Inc()
 			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 			resp.Body.Close()
 			cancel()
@@ -203,6 +226,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 		if attempt >= c.Retry.Max {
 			return nil, fmt.Errorf("lpserve: %s %s (after %d attempts): %w", method, path, attempt+1, lastErr)
 		}
+		reg.Counter("lpserve_client_retries_total", "Attempts re-issued after a transient failure.").Inc()
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("lpserve: %s %s: %w", method, path, ctx.Err())
@@ -281,6 +305,33 @@ func (c *Client) FetchBatch(ctx context.Context, start, count int) ([][]byte, er
 			return nil, fmt.Errorf("lpserve: batch [%d,%d): point %d: %w", start, start+count, i, err)
 		}
 		blobs = append(blobs, b)
+	}
+	return blobs, nil
+}
+
+// FetchRange pulls the blobs at read-order positions [start, start+count)
+// with no upper bound on count: the range is fetched in server-acceptable
+// chunks (MaxBatchPoints, or BatchPoints when set lower). FetchBatch
+// callers must keep count within MaxBatchPoints — the server silently
+// clamps larger requests, truncating the batch — so ranges that may
+// exceed the cap (e.g. cluster range leases) go through here.
+func (c *Client) FetchRange(ctx context.Context, start, count int) ([][]byte, error) {
+	chunk := c.BatchPoints
+	if chunk <= 0 || chunk > MaxBatchPoints {
+		chunk = MaxBatchPoints
+	}
+	blobs := make([][]byte, 0, count)
+	for off := 0; off < count; {
+		n := count - off
+		if n > chunk {
+			n = chunk
+		}
+		part, err := c.FetchBatch(ctx, start+off, n)
+		if err != nil {
+			return nil, err
+		}
+		blobs = append(blobs, part...)
+		off += n
 	}
 	return blobs, nil
 }

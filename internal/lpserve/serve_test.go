@@ -12,6 +12,8 @@ import (
 	"net/http/httptest"
 	"path/filepath"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"livepoints/internal/bpred"
 	"livepoints/internal/livepoint"
 	"livepoints/internal/lpstore"
+	"livepoints/internal/obs"
 	"livepoints/internal/prog"
 	"livepoints/internal/sampling"
 	"livepoints/internal/uarch"
@@ -293,6 +296,188 @@ func TestEndpoints(t *testing.T) {
 	}
 	if count != 23 {
 		t.Fatalf("shard sources yielded %d points, want 23", count)
+	}
+}
+
+// TestFetchRangeBeyondBatchCap covers ranges larger than one /v1/points
+// response may carry: the server silently clamps a single batch at
+// MaxBatchPoints (so FetchBatch desynchronizes), while FetchRange walks
+// the range in server-acceptable chunks and returns every blob.
+func TestFetchRangeBeyondBatchCap(t *testing.T) {
+	const n = MaxBatchPoints + 150
+	st, blobs := synthStore(t, n, 512)
+	ts := httptest.NewServer(NewServer(st).Handler())
+	defer ts.Close()
+	cl, err := Dial(ts.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	if _, err := cl.FetchBatch(ctx, 0, n); err == nil {
+		t.Fatal("FetchBatch beyond MaxBatchPoints succeeded; the server clamp should have truncated it")
+	}
+
+	got, err := cl.FetchRange(ctx, 0, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("FetchRange returned %d blobs, want %d", len(got), n)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], blobs[i]) {
+			t.Fatalf("blob %d mismatch", i)
+		}
+	}
+
+	// An offset sub-range crossing a chunk boundary (small BatchPoints
+	// forces several chunks).
+	cl.BatchPoints = 100
+	got, err = cl.FetchRange(ctx, 37, 333)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 333 {
+		t.Fatalf("offset FetchRange returned %d blobs, want 333", len(got))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], blobs[37+i]) {
+			t.Fatalf("offset blob %d mismatch", i)
+		}
+	}
+}
+
+// TestMetricsEndpoint scrapes /metrics after a few requests and checks
+// the per-endpoint series and the exposition format headers.
+func TestMetricsEndpoint(t *testing.T) {
+	st, _ := synthStore(t, 12, 4)
+	reg := obs.NewRegistry()
+	ts := httptest.NewServer(NewServerWithMetrics(st, reg).Handler())
+	defer ts.Close()
+
+	for _, p := range []string{
+		"/v1/stat",
+		"/v1/points?start=0&count=5",
+		"/v1/points?start=-1&count=2", // 400: error statuses get their own series
+		"/v1/shards/0",
+	} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("Content-Type %q lacks exposition version", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE lpserve_http_requests_total counter",
+		`lpserve_http_requests_total{endpoint="GET /v1/stat",code="200"} 1`,
+		`lpserve_http_requests_total{endpoint="GET /v1/points",code="200"} 1`,
+		`lpserve_http_requests_total{endpoint="GET /v1/points",code="400"} 1`,
+		`lpserve_http_requests_total{endpoint="GET /v1/shards/{id}",code="200"} 1`,
+		"# TYPE lpserve_http_request_seconds histogram",
+		`lpserve_http_request_seconds_bucket{endpoint="GET /v1/stat",le="+Inf"} 1`,
+		`lpserve_http_request_seconds_count{endpoint="GET /v1/stat"} 1`,
+		`lpserve_http_response_bytes_total{endpoint="GET /v1/points"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestClientRetryMetrics checks the client's outcome counters: a 503
+// retried into a 200 counts two attempts, one retry, and one response per
+// status; a 4xx is terminal and not retried.
+func TestClientRetryMetrics(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/missing" {
+			http.Error(w, "no", http.StatusNotFound)
+			return
+		}
+		if calls.Add(1) == 1 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		writeJSON(w, map[string]bool{"ok": true})
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	cl := New(ts.URL)
+	cl.Metrics = reg
+	cl.Retry = RetryPolicy{Max: 3, Base: time.Millisecond, Cap: time.Millisecond}
+
+	ctx := context.Background()
+	var out map[string]bool
+	if err := cl.DoJSON(ctx, http.MethodGet, "/flaky", nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out["ok"] {
+		t.Fatalf("unexpected body: %+v", out)
+	}
+	if err := cl.DoJSON(ctx, http.MethodGet, "/missing", nil, nil); !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("GET /missing: %v, want 404", err)
+	}
+
+	checks := map[*obs.Counter]uint64{
+		reg.Counter("lpserve_client_attempts_total", ""):                 3, // 503, 200, 404
+		reg.Counter("lpserve_client_retries_total", ""):                  1,
+		reg.Counter("lpserve_client_responses_total", "", "code", "503"): 1,
+		reg.Counter("lpserve_client_responses_total", "", "code", "200"): 1,
+		reg.Counter("lpserve_client_responses_total", "", "code", "404"): 1,
+		reg.Counter("lpserve_client_transport_errors_total", ""):         0,
+	}
+	for c, want := range checks {
+		if got := c.Value(); got != want {
+			t.Errorf("counter value %d, want %d", got, want)
+		}
+	}
+}
+
+// TestConcurrentServeShutdown races Serve against Shutdown (run under
+// -race): whichever wins, both must return cleanly.
+func TestConcurrentServeShutdown(t *testing.T) {
+	st, _ := synthStore(t, 8, 4)
+	for i := 0; i < 25; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := NewServerWithMetrics(st, obs.NewRegistry())
+		served := make(chan error, 1)
+		shut := make(chan error, 1)
+		go func() { served <- srv.Serve(l) }()
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			shut <- srv.Shutdown(ctx)
+		}()
+		if err := <-served; err != nil {
+			t.Fatalf("iteration %d: Serve: %v", i, err)
+		}
+		if err := <-shut; err != nil {
+			t.Fatalf("iteration %d: Shutdown: %v", i, err)
+		}
+		l.Close()
 	}
 }
 

@@ -15,9 +15,15 @@
 //	GET /v1/points?start=&count=
 //	                          ranged batch fetch: concatenated DER blobs
 //	                          at read-order positions [start,start+count)
+//	GET /metrics              Prometheus text-format metrics (internal/obs)
 //
 // Point blobs are self-delimiting DER elements, so batch responses need no
 // framing; clients split them with livepoint.ReadElement.
+//
+// Every /v1 endpoint — including those a cluster coordinator mounts via
+// Extend — is instrumented: request counts by status, latency histograms,
+// and response bytes, all labeled by route pattern and exposed on
+// GET /metrics.
 package lpserve
 
 import (
@@ -31,6 +37,7 @@ import (
 	"time"
 
 	"livepoints/internal/lpstore"
+	"livepoints/internal/obs"
 )
 
 // ShardStat describes one shard in the /v1/shards listing.
@@ -49,49 +56,102 @@ type Server struct {
 	st  *lpstore.Store
 	mux *http.ServeMux
 	hs  *http.Server
+	reg *obs.Registry
 }
 
-// NewServer builds a server over an open store. The store must outlive the
+// NewServer builds a server over an open store, registering metrics in
+// the process-wide obs.Default registry. The store must outlive the
 // server.
 func NewServer(st *lpstore.Store) *Server {
-	s := &Server{st: st, mux: http.NewServeMux()}
-	s.mux.HandleFunc("GET /v1/stat", s.handleStat)
-	s.mux.HandleFunc("GET /v1/shards", s.handleShards)
-	s.mux.HandleFunc("GET /v1/shards/{id}", s.handleShardData)
-	s.mux.HandleFunc("GET /v1/shards/{id}/index", s.handleShardIndex)
-	s.mux.HandleFunc("GET /v1/points", s.handlePoints)
+	return NewServerWithMetrics(st, obs.Default)
+}
+
+// NewServerWithMetrics is NewServer with a caller-owned metrics registry
+// (tests isolate their series this way).
+func NewServerWithMetrics(st *lpstore.Store, reg *obs.Registry) *Server {
+	s := &Server{st: st, mux: http.NewServeMux(), reg: reg}
+	// The http.Server is built here, not in Serve, so a concurrent
+	// Serve/Shutdown pair never races on the field.
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	s.Extend("GET /v1/stat", s.handleStat)
+	s.Extend("GET /v1/shards", s.handleShards)
+	s.Extend("GET /v1/shards/{id}", s.handleShardData)
+	s.Extend("GET /v1/shards/{id}/index", s.handleShardIndex)
+	s.Extend("GET /v1/points", s.handlePoints)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }
 
 // Handler returns the routing handler (for tests and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Extend registers an additional handler on the server's mux — the hook a
-// cluster coordinator (internal/lpcluster) uses to mount its lease and
+// Extend registers an additional handler on the server's mux, wrapped in
+// the same per-endpoint instrumentation as the built-in routes — the hook
+// a cluster coordinator (internal/lpcluster) uses to mount its lease and
 // result endpoints beside the store's. Call before Serve.
-func (s *Server) Extend(pattern string, h http.HandlerFunc) { s.mux.HandleFunc(pattern, h) }
+func (s *Server) Extend(pattern string, h http.HandlerFunc) {
+	s.mux.HandleFunc(pattern, s.instrument(pattern, h))
+}
+
+// statusWriter captures the status code and body size a handler produced.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// instrument wraps a handler with per-endpoint request, latency, and byte
+// accounting, labeled by the route pattern (stable cardinality — path
+// wildcards and query strings never become label values).
+func (s *Server) instrument(pattern string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		s.reg.Counter("lpserve_http_requests_total", "HTTP requests by endpoint and status code.",
+			"endpoint", pattern, "code", strconv.Itoa(sw.status)).Inc()
+		s.reg.Histogram("lpserve_http_request_seconds", "HTTP request latency by endpoint.",
+			obs.DefSeconds, "endpoint", pattern).Observe(time.Since(t0).Seconds())
+		s.reg.Counter("lpserve_http_response_bytes_total", "HTTP response body bytes by endpoint.",
+			"endpoint", pattern).Add(uint64(sw.bytes))
+	}
+}
 
 // Serve accepts connections on l until Shutdown. It returns nil after a
 // graceful shutdown. The server bounds header reads and idle keep-alive
 // connections so slow or abandoned clients cannot pin goroutines forever.
 func (s *Server) Serve(l net.Listener) error {
-	s.hs = &http.Server{
-		Handler:           s.mux,
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       120 * time.Second,
-	}
 	if err := s.hs.Serve(l); err != nil && err != http.ErrServerClosed {
 		return err
 	}
 	return nil
 }
 
-// Shutdown drains in-flight requests and stops the server.
+// Shutdown drains in-flight requests and stops the server. Safe to call
+// concurrently with Serve: a shutdown that wins the race makes Serve
+// return immediately.
 func (s *Server) Shutdown(ctx context.Context) error {
-	if s.hs == nil {
-		return nil
-	}
 	return s.hs.Shutdown(ctx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -140,7 +200,11 @@ func (s *Server) handleShardData(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	points, _, uncomp, _ := s.st.ShardStat(id)
+	points, _, uncomp, err := s.st.ShardStat(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/gzip")
 	w.Header().Set("Content-Length", strconv.FormatInt(n, 10))
 	w.Header().Set("X-Lplib-Shard-Points", strconv.Itoa(points))

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Level orders log severities.
+type Level int32
+
+// Severity levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	}
+	return fmt.Sprintf("level(%d)", int32(l))
+}
+
+// Logger emits structured logfmt lines
+// (ts=... level=... component=... msg=... k=v ...) at or above a minimum
+// level. A nil *Logger discards everything, so optional logging hooks
+// need no guards. Safe for concurrent use.
+type Logger struct {
+	mu        sync.Mutex
+	w         io.Writer
+	min       Level
+	component string
+	now       func() time.Time // test seam
+}
+
+// NewLogger returns a logger writing lines at or above min to w,
+// attributing them to component.
+func NewLogger(w io.Writer, min Level, component string) *Logger {
+	return &Logger{w: w, min: min, component: component, now: time.Now}
+}
+
+// Debug logs at debug level; kv are alternating key, value pairs.
+func (l *Logger) Debug(msg string, kv ...any) { l.log(LevelDebug, msg, kv) }
+
+// Info logs at info level.
+func (l *Logger) Info(msg string, kv ...any) { l.log(LevelInfo, msg, kv) }
+
+// Warn logs at warn level.
+func (l *Logger) Warn(msg string, kv ...any) { l.log(LevelWarn, msg, kv) }
+
+// Error logs at error level.
+func (l *Logger) Error(msg string, kv ...any) { l.log(LevelError, msg, kv) }
+
+func (l *Logger) log(lv Level, msg string, kv []any) {
+	if l == nil || lv < l.min {
+		return
+	}
+	var b strings.Builder
+	b.WriteString("ts=")
+	b.WriteString(l.now().UTC().Format(time.RFC3339))
+	b.WriteString(" level=")
+	b.WriteString(lv.String())
+	if l.component != "" {
+		b.WriteString(" component=")
+		b.WriteString(quoteIfNeeded(l.component))
+	}
+	b.WriteString(" msg=")
+	b.WriteString(quoteIfNeeded(msg))
+	for i := 0; i+1 < len(kv); i += 2 {
+		b.WriteByte(' ')
+		fmt.Fprintf(&b, "%v", kv[i])
+		b.WriteByte('=')
+		b.WriteString(quoteIfNeeded(formatAny(kv[i+1])))
+	}
+	b.WriteByte('\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	io.WriteString(l.w, b.String())
+}
+
+func formatAny(v any) string {
+	switch x := v.(type) {
+	case float64:
+		return fmt.Sprintf("%.4g", x)
+	case time.Duration:
+		return x.Round(time.Millisecond).String()
+	default:
+		return fmt.Sprintf("%v", x)
+	}
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" || strings.ContainsAny(s, " \"=\n") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}

@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter %d, want 5", c.Value())
+	}
+	// Same (name, labels) resolves to the same instrument.
+	if r.Counter("reqs_total", "requests") != c {
+		t.Fatal("counter lookup not idempotent")
+	}
+
+	g := r.Gauge("temp", "temperature")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if g.Value() != 2.0 {
+		t.Fatalf("gauge %v, want 2", g.Value())
+	}
+
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	for _, v := range []float64{0.05, 0.1, 0.5, 3} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("histogram count %d, want 4", h.Count())
+	}
+	if math.Abs(h.Sum()-3.65) > 1e-12 {
+		t.Fatalf("histogram sum %v, want 3.65", h.Sum())
+	}
+}
+
+func TestExpositionFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits_total", "hits by endpoint", "endpoint", "GET /v1/stat").Add(3)
+	r.Counter("hits_total", "hits by endpoint", "endpoint", "GET /v1/points").Inc()
+	r.Gauge("active", "active leases").Set(2)
+	r.GaugeFunc("progress", "stopping progress", func() float64 { return 0.25 })
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1}, "endpoint", "GET /v1/stat")
+	h.Observe(0.05)
+	h.Observe(0.5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP hits_total hits by endpoint
+# TYPE hits_total counter
+hits_total{endpoint="GET /v1/stat"} 3
+hits_total{endpoint="GET /v1/points"} 1
+# HELP active active leases
+# TYPE active gauge
+active 2
+# HELP progress stopping progress
+# TYPE progress gauge
+progress 0.25
+# HELP lat_seconds latency
+# TYPE lat_seconds histogram
+lat_seconds_bucket{endpoint="GET /v1/stat",le="0.1"} 1
+lat_seconds_bucket{endpoint="GET /v1/stat",le="1"} 2
+lat_seconds_bucket{endpoint="GET /v1/stat",le="+Inf"} 2
+lat_seconds_sum{endpoint="GET /v1/stat"} 0.55
+lat_seconds_count{endpoint="GET /v1/stat"} 2
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "c", "path", `a"b\c`+"\n").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), `c_total{path="a\"b\\c\n"} 1`) {
+		t.Fatalf("unescaped labels:\n%s", b.String())
+	}
+}
+
+func TestGaugeFuncReplace(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("p", "p", func() float64 { return 1 })
+	r.GaugeFunc("p", "p", func() float64 { return 2 })
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if !strings.Contains(b.String(), "p 2\n") {
+		t.Fatalf("gauge func not replaced:\n%s", b.String())
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on counter re-registered as gauge")
+		}
+	}()
+	r.Gauge("x", "x")
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n_total", "n").Inc()
+				r.Gauge("g", "g").Add(1)
+				r.Histogram("h", "h", []float64{0.5}).Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := r.Counter("n_total", "n").Value(); n != 8000 {
+		t.Fatalf("counter %d, want 8000", n)
+	}
+	if g := r.Gauge("g", "g").Value(); g != 8000 {
+		t.Fatalf("gauge %v, want 8000", g)
+	}
+	if c := r.Histogram("h", "h", []float64{0.5}).Count(); c != 8000 {
+		t.Fatalf("histogram %d, want 8000", c)
+	}
+}
+
+func TestLoggerLevelsAndFormat(t *testing.T) {
+	var b strings.Builder
+	l := NewLogger(&b, LevelInfo, "worker")
+	l.now = func() time.Time { return time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC) }
+	l.Debug("hidden")
+	l.Info("progress", "points", 128, "rate", 42.5, "eta", 90*time.Second, "note", "two words")
+	got := b.String()
+	want := `ts=2026-08-08T12:00:00Z level=info component=worker msg=progress points=128 rate=42.5 eta=1m30s note="two words"` + "\n"
+	if got != want {
+		t.Fatalf("log line:\ngot:  %q\nwant: %q", got, want)
+	}
+}
+
+func TestNilLoggerIsSafe(t *testing.T) {
+	var l *Logger
+	l.Info("nothing happens", "k", 1)
+	l.Error("still nothing")
+}

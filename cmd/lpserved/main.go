@@ -14,6 +14,16 @@
 //	lpserved -lib gcc.lplib -cluster -err 0.03      # coordinate to ±3%
 //	lpserved -lib gcc.lplib -cluster -matched -memlat 150
 //
+// With -journal the cluster run is crash-safe: the run spec and every
+// accepted result are appended (and fsynced) to a write-ahead journal
+// before they are folded. If the coordinator is killed mid-run —
+// SIGKILL included — restarting it with the same flags replays the
+// journal and resumes the run with a bit-equal estimate; workers ride
+// the restart out and results for pre-restart leases are rejected (410)
+// rather than double-counted.
+//
+//	lpserved -lib gcc.lplib -cluster -err 0.03 -journal run.waj
+//
 // Legacy v1 (sequential gzip) libraries are migrated to the sharded v2
 // format on startup — written next to the source by default — so every
 // served library supports random access, ranged batch fetch, and raw-shard
@@ -56,10 +66,14 @@ func main() {
 		noImpact    = flag.Float64("noimpact", 0, "cluster matched: no-impact screen threshold (e.g. 0.03)")
 		leasePoints = flag.Int("lease-points", 0, "cluster: points per range lease (default 64)")
 		leaseTTL    = flag.Duration("lease-ttl", 0, "cluster: lease expiry; crashed workers' leases reassign after this (default 60s)")
+		journal     = flag.String("journal", "", "cluster: write-ahead run journal; an existing journal resumes its run")
 	)
 	flag.Parse()
 	if *lib == "" {
 		log.Fatal("lpserved: -lib is required")
+	}
+	if *journal != "" && !*cluster {
+		log.Fatal("lpserved: -journal requires -cluster")
 	}
 
 	path := *lib
@@ -107,16 +121,29 @@ func main() {
 			spec.RUU = *ruu
 			spec.NoImpactThreshold = *noImpact
 		}
-		coord, err := lpcluster.NewCoordinator(st, spec, lpcluster.Options{
+		opt := lpcluster.Options{
 			LeasePoints: *leasePoints,
 			LeaseTTL:    *leaseTTL,
-		})
+		}
+		var coord *lpcluster.Coordinator
+		var err error
+		if *journal != "" {
+			coord, err = lpcluster.NewJournaledCoordinator(st, spec, opt, *journal)
+		} else {
+			coord, err = lpcluster.NewCoordinator(st, spec, opt)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
+		defer coord.Close()
 		coord.Mount(srv)
 		log.Printf("coordinating a %s cluster run (err target %v); point lpworker -coord at this address",
 			coord.Spec().Mode, *relErr)
+		if epoch := coord.Epoch(); epoch > 0 {
+			rs := coord.State()
+			log.Printf("resumed run from journal %s: epoch %d, %d/%d points already folded (phase %s)",
+				*journal, epoch, rs.Done, rs.Points, rs.Phase)
+		}
 		go func() {
 			<-coord.Done()
 			res, _ := coord.Final()

@@ -9,7 +9,14 @@
 //
 // Workers are stateless and crash-safe: a worker that dies mid-lease is
 // simply outwaited — the coordinator reassigns its lease after the TTL.
-// SIGINT/SIGTERM stop the pullers at the next lease boundary.
+// The reverse also holds: if the coordinator dies, workers back off with
+// jitter and resume pulling when it returns (a journaled coordinator
+// restart rejects their stale leases with 410, which they shrug off).
+//
+// The first SIGINT/SIGTERM drains gracefully: each puller finishes and
+// posts its in-flight lease, acquires nothing new, and exits. A second
+// signal aborts immediately, discarding in-flight work (the coordinator
+// reassigns those leases after the TTL).
 //
 // While pulling, the process emits a structured (logfmt) fleet-progress
 // line every -progress interval — points folded fleet-wide, fold rate,
@@ -52,8 +59,8 @@ func main() {
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 
 	cl, err := lpserve.DialContext(ctx, *coord)
 	if err != nil {
@@ -85,6 +92,20 @@ func main() {
 			}
 		}()
 	}
+	// Two-stage signal handling: the first signal drains (finish and post
+	// the in-flight lease, take nothing new), a second one hard-cancels.
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("%s: draining — finishing in-flight leases (signal again to abort)", s)
+		for _, w := range workers {
+			w.Drain()
+		}
+		s = <-sig
+		log.Printf("%s: aborting", s)
+		cancel()
+	}()
 	if *progress > 0 {
 		go reportProgress(ctx, cl, logger, *progress)
 	}
@@ -98,14 +119,15 @@ func main() {
 		}
 	}
 
-	var leases, points, expired int
+	var leases, points, expired, reconnects int
 	for _, w := range workers {
 		leases += w.Leases
 		points += w.Points
 		expired += w.Expired
+		reconnects += w.Reconnects
 	}
-	log.Printf("done: %d leases, %d points simulated (%d leases lost to expiry) in %v",
-		leases, points, expired, time.Since(t0).Round(time.Millisecond))
+	log.Printf("done: %d leases, %d points simulated (%d leases lost to expiry, %d coordinator outages ridden out) in %v",
+		leases, points, expired, reconnects, time.Since(t0).Round(time.Millisecond))
 }
 
 // reportProgress polls the coordinator's run state and logs one logfmt

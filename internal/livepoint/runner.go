@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"livepoints/internal/sampling"
@@ -146,8 +147,10 @@ type simOut struct {
 
 // collectOuts folds worker results into the estimate in completion order
 // until outs closes. stop is invoked exactly once: when the stopping rule
-// first fires (relErr > 0), or after the channel drains. It returns the
-// first worker error.
+// first fires (relErr > 0), on the first worker error (fail-fast — the
+// feeder must not decode and simulate the rest of the library just to
+// report an error that has already happened), or after the channel
+// drains. It returns the first worker error.
 func collectOuts(outs <-chan simOut, res *RunResult, online *sampling.OnlineEstimator, relErr float64, stop func()) error {
 	var firstErr error
 	stopped := false
@@ -155,6 +158,10 @@ func collectOuts(outs <-chan simOut, res *RunResult, online *sampling.OnlineEsti
 		if out.err != nil {
 			if firstErr == nil {
 				firstErr = out.err
+				if !stopped {
+					stopped = true
+					stop()
+				}
 			}
 			continue
 		}
@@ -178,6 +185,11 @@ func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
 
+	// Load/sim split, summed across the feeder and all workers — the
+	// same accounting the serial path reports (stream reads and decode
+	// are load, detailed simulation is sim), never wall-clock.
+	var loadNS, simNS atomic.Int64
+
 	blobs := make(chan []byte, opts.Parallel)
 	outs := make(chan simOut, opts.Parallel)
 	var wg sync.WaitGroup
@@ -186,12 +198,16 @@ func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for blob := range blobs {
+				t0 := time.Now()
 				lp, err := Decode(blob)
+				loadNS.Add(int64(time.Since(t0)))
 				if err != nil {
 					outs <- simOut{err: err}
 					continue
 				}
+				t0 = time.Now()
 				wr, err := Simulate(lp, opts.Cfg)
+				simNS.Add(int64(time.Since(t0)))
 				outs <- simOut{wr: wr, err: err}
 			}
 		}()
@@ -205,7 +221,9 @@ func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 			if opts.MaxPoints > 0 && sent >= opts.MaxPoints {
 				return
 			}
+			t0 := time.Now()
 			blob, err := src.NextBlob()
+			loadNS.Add(int64(time.Since(t0)))
 			if err == io.EOF {
 				return
 			}
@@ -226,9 +244,9 @@ func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 		close(outs)
 	}()
 
-	t0 := time.Now()
 	firstErr := collectOuts(outs, res, online, opts.RelErr, func() { close(done) })
-	res.SimTime = time.Since(t0)
+	res.LoadTime = time.Duration(loadNS.Load())
+	res.SimTime = time.Duration(simNS.Load())
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -251,6 +269,8 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
 
+	var loadNS, simNS atomic.Int64
+
 	shardc := make(chan int)
 	outs := make(chan simOut, opts.Parallel)
 	var wg sync.WaitGroup
@@ -259,13 +279,21 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 		go func() {
 			defer wg.Done()
 			for s := range shardc {
+				t0 := time.Now()
 				sub, err := ss.OpenShard(s)
+				loadNS.Add(int64(time.Since(t0)))
 				if err != nil {
+					// Report the failure but keep ranging over shardc:
+					// returning here would strand the feeder blocked on
+					// its next send forever (goroutine leak). The feeder
+					// stops on its own once collectOuts fires stop.
 					outs <- simOut{err: err}
-					return
+					continue
 				}
 				for {
+					t0 := time.Now()
 					blob, err := sub.NextBlob()
+					loadNS.Add(int64(time.Since(t0)))
 					if err == io.EOF {
 						break
 					}
@@ -273,22 +301,31 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 						outs <- simOut{err: err}
 						break
 					}
+					t0 = time.Now()
 					lp, err := Decode(blob)
+					loadNS.Add(int64(time.Since(t0)))
 					if err != nil {
 						outs <- simOut{err: err}
 						continue
 					}
+					t0 = time.Now()
 					wr, err := Simulate(lp, opts.Cfg)
+					simNS.Add(int64(time.Since(t0)))
 					outs <- simOut{wr: wr, err: err}
 				}
 				sub.Close()
 			}
 		}()
 	}
+	done := make(chan struct{})
 	go func() {
 		defer close(shardc)
 		for s := 0; s < ss.NumShards(); s++ {
-			shardc <- s
+			select {
+			case shardc <- s:
+			case <-done:
+				return
+			}
 		}
 	}()
 	go func() {
@@ -296,9 +333,9 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 		close(outs)
 	}()
 
-	t0 := time.Now()
-	firstErr := collectOuts(outs, res, online, 0, func() {})
-	res.SimTime = time.Since(t0)
+	firstErr := collectOuts(outs, res, online, 0, func() { close(done) })
+	res.LoadTime = time.Duration(loadNS.Load())
+	res.SimTime = time.Duration(simNS.Load())
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -394,7 +431,8 @@ type MatchedOpts struct {
 type MatchedResult struct {
 	MP        sampling.MatchedPair
 	Processed int
-	SimTime   time.Duration
+	LoadTime  time.Duration // stream reads + decode, as in RunResult
+	SimTime   time.Duration // detailed simulation (both configurations)
 	// StoppedNoImpact records that the no-impact screen fired.
 	StoppedNoImpact bool
 }
@@ -419,11 +457,11 @@ func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
 	}
 
 	res := &MatchedResult{}
-	t0 := time.Now()
 	for {
 		if opts.MaxPoints > 0 && res.Processed >= opts.MaxPoints {
 			break
 		}
+		t0 := time.Now()
 		blob, err := src.NextBlob()
 		if err == io.EOF {
 			break
@@ -435,6 +473,9 @@ func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		res.LoadTime += time.Since(t0)
+
+		t0 = time.Now()
 		base, err := Simulate(lp, opts.Base)
 		if err != nil {
 			return nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
@@ -443,6 +484,7 @@ func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
 		if err != nil {
 			return nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
 		}
+		res.SimTime += time.Since(t0)
 		res.MP.Add(base.UnitCPI, exp.UnitCPI)
 		res.Processed++
 
@@ -457,6 +499,5 @@ func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
 			break
 		}
 	}
-	res.SimTime = time.Since(t0)
 	return res, nil
 }

@@ -1,9 +1,12 @@
 package livepoint
 
 import (
+	"errors"
 	"io"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"livepoints/internal/uarch"
 )
@@ -93,5 +96,103 @@ func TestRunSourceShardDispatch(t *testing.T) {
 	}
 	if n := src.opens.Load(); n != 0 {
 		t.Fatalf("early-stopping parallel run opened %d shards; stopping runs must stay in read order", n)
+	}
+}
+
+// failShards is a ShardedSource whose every OpenShard fails — the
+// degenerate case of a library whose backing storage vanished mid-run.
+type failShards struct {
+	meta   Meta
+	shards int
+}
+
+func (f *failShards) Meta() Meta                    { return f.meta }
+func (f *failShards) NextBlob() ([]byte, error)     { return nil, io.EOF }
+func (f *failShards) Close() error                  { return nil }
+func (f *failShards) NumShards() int                { return f.shards }
+func (f *failShards) OpenShard(int) (Source, error) { return nil, errors.New("shard storage gone") }
+
+// TestRunShardedOpenShardFailureNoLeak is the goroutine-leak regression:
+// a worker whose OpenShard fails used to return without draining the
+// shard channel, stranding the feeder on its next send forever when
+// shards outnumber workers. The run must instead fail and release every
+// goroutine it started.
+func TestRunShardedOpenShardFailureNoLeak(t *testing.T) {
+	g0 := runtime.NumGoroutine()
+	src := &failShards{meta: Meta{Benchmark: "syn.gzip", Count: 80}, shards: 16}
+	if _, err := RunSource(src, RunOpts{Cfg: uarch.Config8Way(), Parallel: 4}); err == nil {
+		t.Fatal("run over failing shards reported success")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > g0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d live, %d before the run", runtime.NumGoroutine(), g0)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunParallelFailFast: the first worker error must stop the feeder.
+// Before the fix, collectOuts recorded the error but let the feeder pull
+// (and workers simulate) the entire remaining library before reporting
+// a failure that had already happened on blob one.
+func TestRunParallelFailFast(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, design, points := buildTestLibrary(t, "syn.gzip", 0.01, cfg, 20, false)
+	good, _ := Encode(points[0])
+	blobs := make([][]byte, 300)
+	blobs[0] = []byte("not a live point")
+	for i := 1; i < len(blobs); i++ {
+		blobs[i] = good
+	}
+	meta := Meta{Benchmark: "syn.gzip", Count: len(blobs), UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+	src := &fakeSharded{meta: meta, blobs: blobs, shards: 1}
+	if _, err := RunSource(src, RunOpts{Cfg: cfg, Parallel: 4}); err == nil {
+		t.Fatal("corrupt blob did not fail the run")
+	}
+	if src.pos >= len(blobs)/2 {
+		t.Fatalf("feeder pulled %d of %d blobs after the first failure; fail-fast did not fire", src.pos, len(blobs))
+	}
+}
+
+// TestParallelTimingSplit pins the time-accounting contract: every
+// execution path — sharded whole-library, read-order parallel feeder,
+// and the matched-pair loop — reports the serial path's split (stream
+// reads + decode as LoadTime, detailed simulation as SimTime), not a
+// zero LoadTime with decode folded into a wall-clock SimTime.
+func TestParallelTimingSplit(t *testing.T) {
+	cfg := uarch.Config8Way()
+	_, design, points := buildTestLibrary(t, "syn.gzip", 0.01, cfg, 20, false)
+	blobs := make([][]byte, len(points))
+	for i, lp := range points {
+		blobs[i], _ = Encode(lp)
+	}
+	meta := Meta{Benchmark: "syn.gzip", Count: len(blobs), UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+	newSrc := func(shards int) *fakeSharded {
+		return &fakeSharded{meta: meta, blobs: blobs, shards: shards}
+	}
+
+	res, err := RunSource(newSrc(4), RunOpts{Cfg: cfg, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadTime <= 0 || res.SimTime <= 0 {
+		t.Fatalf("sharded parallel run lost its load/sim split: load=%v sim=%v", res.LoadTime, res.SimTime)
+	}
+
+	res, err = RunSource(newSrc(1), RunOpts{Cfg: cfg, Parallel: 4, MaxPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LoadTime <= 0 || res.SimTime <= 0 {
+		t.Fatalf("feeder parallel run lost its load/sim split: load=%v sim=%v", res.LoadTime, res.SimTime)
+	}
+
+	mres, err := RunMatchedSource(newSrc(1), MatchedOpts{Base: cfg, Exp: cfg, MaxPoints: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.LoadTime <= 0 || mres.SimTime <= 0 {
+		t.Fatalf("matched run lost its load/sim split: load=%v sim=%v", mres.LoadTime, mres.SimTime)
 	}
 }

@@ -52,14 +52,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Result rejections, surfaced over HTTP as 410 and 409.
+// Result rejections, surfaced over HTTP as 410, 409, and 503.
 var (
 	// ErrLeaseGone rejects a result for an unknown or reassigned lease —
 	// the worker blew its deadline and the points now belong to a
-	// replacement lease, so folding this copy would double-count.
-	ErrLeaseGone = errors.New("lpcluster: lease expired or reassigned")
+	// replacement lease — or for a lease issued by a previous coordinator
+	// incarnation (stale epoch). Folding either copy would double-count.
+	ErrLeaseGone = errors.New("lpcluster: lease expired, reassigned, or from a previous run epoch")
 	// ErrDuplicate rejects a second result for a completed lease.
 	ErrDuplicate = errors.New("lpcluster: duplicate result for completed lease")
+	// ErrJournal rejects a result whose write-ahead journal append
+	// failed: the fold is refused rather than left unrecoverable. Served
+	// as 503, which workers retry.
+	ErrJournal = errors.New("lpcluster: journal append failed")
 )
 
 // lease is the coordinator's view of one assigned work unit.
@@ -103,6 +108,14 @@ type Coordinator struct {
 	spec RunSpec
 	opt  Options
 
+	// jr, when non-nil, is the run's write-ahead journal: the spec is
+	// recorded at creation and every accepted result is appended (and
+	// fsynced) before it is folded, so a killed coordinator resumes with
+	// a bit-equal estimate. epoch counts incarnations; leases carry it
+	// and stale-epoch results are rejected (ErrLeaseGone).
+	jr    *Journal
+	epoch uint64
+
 	mu        sync.Mutex
 	nextID    uint64
 	nextPos   int // next unleased read-order position (range leases)
@@ -136,7 +149,7 @@ type Coordinator struct {
 	// which scrapes also hold — never nest the two).
 	mLeasesIssued, mReassigned, mPointsFolded *obs.Counter
 	mRejGone, mRejDuplicate, mRejMismatch     *obs.Counter
-	mStragglers                               *obs.Counter
+	mRejEpoch, mStragglers                    *obs.Counter
 }
 
 // NewCoordinator validates the spec against the store and returns an idle
@@ -185,7 +198,9 @@ func (c *Coordinator) registerMetrics() {
 	c.mRejGone = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "gone")
 	c.mRejDuplicate = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "duplicate")
 	c.mRejMismatch = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "mismatch")
+	c.mRejEpoch = reg.Counter("lpcluster_results_rejected_total", "Posted results refused, by reason.", "reason", "epoch")
 	c.mStragglers = reg.Counter("lpcluster_straggler_results_total", "Results that arrived after the run finished (acknowledged, not folded).")
+	reg.Gauge("lpcluster_run_epoch", "Coordinator incarnation (0 = never restarted; bumps on every journal resume).").Set(float64(c.epoch))
 	locked := func(f func() float64) func() float64 {
 		return func() float64 {
 			c.mu.Lock()
@@ -242,8 +257,16 @@ func finite(v float64) float64 {
 // Spec returns the run specification (defaults resolved).
 func (c *Coordinator) Spec() RunSpec { return c.spec }
 
+// Epoch returns the coordinator's incarnation number: 0 for a fresh run,
+// incremented on every journal resume.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
 // Done returns a channel closed when the run finishes.
 func (c *Coordinator) Done() <-chan struct{} { return c.doneCh }
+
+// Close releases the coordinator's journal, if any. The run itself needs
+// no teardown.
+func (c *Coordinator) Close() error { return c.jr.Close() }
 
 // stoppingActive reports whether an online stopping rule constrains lease
 // shape: truncated samples must be read-order prefixes (DESIGN §3.3), so
@@ -336,6 +359,7 @@ func (c *Coordinator) Acquire(worker string) LeaseResponse {
 	c.mLeasesIssued.Inc()
 	return LeaseResponse{Lease: &Lease{
 		ID:        l.id,
+		Epoch:     c.epoch,
 		Kind:      l.kind,
 		Shard:     l.shard,
 		Start:     l.start,
@@ -347,12 +371,25 @@ func (c *Coordinator) Acquire(worker string) LeaseResponse {
 
 // Result folds one completed lease's partial statistics. Partials fold in
 // completion order; after each fold the §6.1 stopping rule is evaluated
-// across everything the fleet has produced. Results for revoked leases
+// across everything the fleet has produced. Results for revoked leases —
+// or leases issued by a previous coordinator incarnation (stale epoch) —
 // are rejected with ErrLeaseGone (the replacement lease owns those points
-// now), duplicates with ErrDuplicate.
+// now), duplicates with ErrDuplicate. On a journaled run the result is
+// appended to the write-ahead journal and fsynced before any state
+// changes; an append failure refuses the fold (ErrJournal, 503) so the
+// worker retries rather than the journal silently diverging.
 func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if res.Epoch != c.epoch {
+		// A lease from a previous incarnation: its points were re-leased
+		// under the current epoch (or already refolded from the journal),
+		// and its lease id may even collide with a fresh lease's — the
+		// epoch check, not the id lookup, is what prevents the stale copy
+		// from double-counting.
+		c.mRejEpoch.Inc()
+		return ResultResponse{}, ErrLeaseGone
+	}
 	l, ok := c.leases[res.LeaseID]
 	if !ok || l.revoked {
 		c.mRejGone.Inc()
@@ -385,8 +422,36 @@ func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
 		return ResultResponse{}, fmt.Errorf("lpcluster: lease %d: got %d CPIs, want %d", res.LeaseID, len(res.CPIs), n)
 	}
 
+	// Write-ahead: the accepted result reaches disk before it reaches the
+	// estimate, so a crash at any later instant replays this fold.
+	if c.jr != nil {
+		rec := journalRecord{
+			T: recResult, Kind: l.kind, Shard: l.shard, Start: l.start, Count: n,
+			CPIs: res.CPIs, BaseCPIs: res.BaseCPIs, ExpCPIs: res.ExpCPIs,
+			UnknownFetches: res.UnknownFetches, UnknownLoads: res.UnknownLoads,
+			CaptureErrors: res.CaptureErrors, LoadMillis: res.LoadMillis, SimMillis: res.SimMillis,
+		}
+		if err := c.jr.append(rec); err != nil {
+			return ResultResponse{}, fmt.Errorf("%w: %v", ErrJournal, err)
+		}
+	}
+
 	l.done = true
 	c.active--
+	c.foldLocked(l.positions, res)
+	return ResultResponse{Accepted: true, Done: c.finished}, nil
+}
+
+// foldLocked advances the run state by one accepted partial: per-point
+// values recorded at their read-order positions (for the bit-equal
+// whole-library refold), the partial merged into the fleet-wide running
+// estimate (completion order), the §6.1 stopping rule evaluated, and the
+// run finalized when it stops or the library is exhausted. Both the live
+// Result path and journal replay run exactly this code, so a resumed
+// coordinator's floats are the ones the crashed incarnation would have
+// had.
+func (c *Coordinator) foldLocked(positions []int, res *Result) {
+	n := len(positions)
 	c.mPointsFolded.Add(uint64(n))
 	c.done += n
 	c.unknownFetches += res.UnknownFetches
@@ -395,12 +460,9 @@ func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
 	c.loadTime += time.Duration(res.LoadMillis) * time.Millisecond
 	c.simTime += time.Duration(res.SimMillis) * time.Millisecond
 
-	// Record per-point values at their read-order positions (for the
-	// bit-equal whole-library refold) and fold the partial into the
-	// fleet-wide running estimate (completion order).
-	if matched {
+	if c.spec.Mode == ModeMatched {
 		var part sampling.MatchedPair
-		for i, pos := range l.positions {
+		for i, pos := range positions {
 			c.baseVals[pos] = res.BaseCPIs[i]
 			c.expVals[pos] = res.ExpCPIs[i]
 			part.Add(res.BaseCPIs[i], res.ExpCPIs[i])
@@ -414,7 +476,7 @@ func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
 		}
 	} else {
 		var part sampling.Estimate
-		for i, pos := range l.positions {
+		for i, pos := range positions {
 			c.values[pos] = res.CPIs[i]
 			part.Add(res.CPIs[i])
 		}
@@ -427,7 +489,6 @@ func (c *Coordinator) Result(res *Result) (ResultResponse, error) {
 	if c.stopped || c.done == c.st.Count() {
 		c.finalizeLocked()
 	}
-	return ResultResponse{Accepted: true, Done: c.finished}, nil
 }
 
 // finalizeLocked seals the run. A whole-library run refolds the recorded
@@ -439,7 +500,11 @@ func (c *Coordinator) finalizeLocked() {
 		return
 	}
 	c.finished = true
-	c.elapsed = time.Since(c.start)
+	if c.started {
+		// A run finalized during journal replay never issued a lease in
+		// this incarnation; its wall clock stays zero.
+		c.elapsed = time.Since(c.start)
+	}
 	if !c.stopped {
 		if c.spec.Mode == ModeMatched {
 			var mp sampling.MatchedPair
@@ -456,6 +521,180 @@ func (c *Coordinator) finalizeLocked() {
 		}
 	}
 	close(c.doneCh)
+}
+
+// NewJournaledCoordinator is NewCoordinator with a crash-safe run
+// journal at path. An empty (or absent) journal starts a fresh run and
+// records its spec; a non-empty journal resumes the run it records: every
+// journaled result is refolded in its original acceptance order (the
+// resumed estimate is bit-equal to the crashed incarnation's), unfolded
+// points are queued for re-leasing, and the epoch is bumped so results
+// for leases issued before the restart are rejected with 410 instead of
+// double-counted. Resuming requires the same spec and the same library
+// the journal records; anything else is refused.
+func NewJournaledCoordinator(st *lpstore.Store, spec RunSpec, opt Options, path string) (*Coordinator, error) {
+	opt = opt.withDefaults()
+	jr, recs, err := openJournal(path, opt.Metrics)
+	if err != nil {
+		return nil, err
+	}
+	c, err := NewCoordinator(st, spec, opt)
+	if err != nil {
+		jr.Close()
+		return nil, err
+	}
+	c.jr = jr
+	if len(recs) == 0 {
+		// Fresh run: journal the spec (and the library's identity) first,
+		// so a restart knows what it is resuming.
+		err := jr.append(journalRecord{
+			T: recRun, Spec: &c.spec, Benchmark: st.Meta().Benchmark, Points: st.Count(),
+		})
+		if err != nil {
+			jr.Close()
+			return nil, err
+		}
+		return c, nil
+	}
+	if err := c.replay(recs); err != nil {
+		jr.Close()
+		return nil, err
+	}
+	// Announce the new incarnation. From here on only current-epoch
+	// results fold.
+	if err := jr.append(journalRecord{T: recEpoch, Epoch: c.epoch}); err != nil {
+		jr.Close()
+		return nil, err
+	}
+	opt.Metrics.Gauge("lpcluster_run_epoch", "").Set(float64(c.epoch))
+	return c, nil
+}
+
+// replay rebuilds the coordinator's fold state from journal records and
+// queues the still-unfolded coverage as pending leases.
+func (c *Coordinator) replay(recs []journalRecord) error {
+	run := recs[0]
+	if run.T != recRun || run.Spec == nil {
+		return fmt.Errorf("lpcluster: journal does not start with a run record")
+	}
+	if *run.Spec != c.spec {
+		return fmt.Errorf("lpcluster: journal records a different run spec (%+v); refusing to resume with %+v",
+			*run.Spec, c.spec)
+	}
+	if run.Points != c.st.Count() || run.Benchmark != c.st.Meta().Benchmark {
+		return fmt.Errorf("lpcluster: journal records library %q (%d points), store is %q (%d points)",
+			run.Benchmark, run.Points, c.st.Meta().Benchmark, c.st.Count())
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	folded := make([]bool, c.st.Count())
+	var lastEpoch uint64
+	for _, rec := range recs[1:] {
+		switch rec.T {
+		case recEpoch:
+			if rec.Epoch > lastEpoch {
+				lastEpoch = rec.Epoch
+			}
+		case recResult:
+			positions, err := c.recordPositions(rec)
+			if err != nil {
+				return err
+			}
+			for _, pos := range positions {
+				if pos < 0 || pos >= len(folded) {
+					return fmt.Errorf("lpcluster: journaled result covers position %d of %d", pos, len(folded))
+				}
+				if folded[pos] {
+					return fmt.Errorf("lpcluster: journaled results fold position %d twice", pos)
+				}
+				folded[pos] = true
+			}
+			c.foldLocked(positions, &Result{
+				CPIs: rec.CPIs, BaseCPIs: rec.BaseCPIs, ExpCPIs: rec.ExpCPIs,
+				UnknownFetches: rec.UnknownFetches, UnknownLoads: rec.UnknownLoads,
+				CaptureErrors: rec.CaptureErrors, LoadMillis: rec.LoadMillis, SimMillis: rec.SimMillis,
+			})
+			c.jr.mReplayed.Inc()
+		default:
+			return fmt.Errorf("lpcluster: unknown journal record type %q", rec.T)
+		}
+	}
+	c.epoch = lastEpoch + 1
+	if !c.finished {
+		if err := c.rebuildPendingLocked(folded); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// recordPositions re-derives the read-order positions a journaled result
+// covers: the journal stores lease coverage, not positions, because
+// shard membership and read order are properties of the store.
+func (c *Coordinator) recordPositions(rec journalRecord) ([]int, error) {
+	switch rec.Kind {
+	case LeaseShard:
+		return c.st.ShardReadPositions(rec.Shard)
+	case LeaseRange:
+		if rec.Start < 0 || rec.Count <= 0 || rec.Start+rec.Count > c.st.Count() {
+			return nil, fmt.Errorf("lpcluster: journaled range [%d,%d) exceeds library of %d points",
+				rec.Start, rec.Start+rec.Count, c.st.Count())
+		}
+		positions := make([]int, rec.Count)
+		for i := range positions {
+			positions[i] = rec.Start + i
+		}
+		return positions, nil
+	}
+	return nil, fmt.Errorf("lpcluster: journaled result has unknown lease kind %q", rec.Kind)
+}
+
+// rebuildPendingLocked queues every unfolded position for re-leasing
+// after a resume, in the shape the run's mode would have issued: whole
+// shards for shard-major runs (a shard folds atomically, so it is either
+// fully folded or fully pending), LeasePoints-sized read-order chunks
+// for range-lease runs (gaps appear wherever a crashed incarnation's
+// leases completed out of order). Fresh allocation is exhausted so
+// Acquire serves only the reconstructed queue.
+func (c *Coordinator) rebuildPendingLocked(folded []bool) error {
+	if !c.stoppingActive() && c.st.NumShards() > 1 {
+		c.nextShard = c.st.NumShards()
+		for s := 0; s < c.st.NumShards(); s++ {
+			positions, err := c.st.ShardReadPositions(s)
+			if err != nil {
+				return err
+			}
+			if len(positions) == 0 || folded[positions[0]] {
+				continue
+			}
+			c.pending = append(c.pending, &lease{kind: LeaseShard, shard: s, positions: positions})
+		}
+		return nil
+	}
+	c.nextPos = c.st.Count()
+	start := -1
+	for pos := 0; pos <= len(folded); pos++ {
+		unfolded := pos < len(folded) && !folded[pos]
+		if unfolded && start < 0 {
+			start = pos
+		}
+		if !unfolded && start >= 0 {
+			for lo := start; lo < pos; lo += c.opt.LeasePoints {
+				hi := lo + c.opt.LeasePoints
+				if hi > pos {
+					hi = pos
+				}
+				positions := make([]int, hi-lo)
+				for i := range positions {
+					positions[i] = lo + i
+				}
+				c.pending = append(c.pending, &lease{kind: LeaseRange, start: lo, positions: positions})
+			}
+			start = -1
+		}
+	}
+	return nil
 }
 
 // Final returns the folded run result once the run has finished.
@@ -503,6 +742,7 @@ func (c *Coordinator) State() RunState {
 		Spec:          c.spec,
 		Points:        c.st.Count(),
 		Phase:         PhaseRunning,
+		Epoch:         c.epoch,
 		Done:          c.done,
 		ActiveLeases:  c.active,
 		PendingLeases: len(c.pending),

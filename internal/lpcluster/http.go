@@ -59,6 +59,10 @@ func (c *Coordinator) handleResults(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusGone)
 	case errors.Is(err, ErrDuplicate):
 		http.Error(w, err.Error(), http.StatusConflict)
+	case errors.Is(err, ErrJournal):
+		// The fold was refused because the write-ahead append failed;
+		// 503 is retryable, so the worker re-posts rather than discards.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:

@@ -1,0 +1,182 @@
+package lpcluster
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"livepoints/internal/obs"
+)
+
+// The run journal is the coordinator's write-ahead log: one JSON record
+// per line, fsynced before the coordinator's in-memory state advances, so
+// a coordinator that is SIGKILLed mid-run can be restarted from the
+// journal with nothing lost and nothing double-counted.
+//
+// Record types (the "t" field):
+//
+//	run     written once at creation: the resolved RunSpec plus the
+//	        library's identity (benchmark, point count) so a resume
+//	        against the wrong store or the wrong flags is refused.
+//	epoch   appended once per restart. Leases carry the epoch of the
+//	        incarnation that issued them; a result posted against a
+//	        previous incarnation's lease is rejected with 410 (its points
+//	        were re-leased under the new epoch, so folding the stale copy
+//	        would double-count).
+//	result  appended for every accepted lease result, *before* it is
+//	        folded: the lease's coverage (kind + shard or start/count —
+//	        positions are re-derived from the store on replay) and the
+//	        per-point CPIs in lease read order, plus the worker's
+//	        aggregated counters and timings.
+//
+// Replay re-executes the result records in journal order — the original
+// acceptance order — through the same fold path Result uses, so the
+// resumed coordinator's running estimate is bit-identical to the state
+// the crashed incarnation had journaled. JSON round-trips float64
+// exactly, so no precision is lost on the way through the log.
+//
+// A crash can tear the final record (partial line, no trailing
+// newline, or a torn JSON object). Replay stops at the first record that
+// does not parse and truncates the file back to the last good byte:
+// the torn record was never acknowledged to its worker, so its lease
+// simply reappears as pending work.
+
+// Journal record types.
+const (
+	recRun    = "run"
+	recEpoch  = "epoch"
+	recResult = "result"
+)
+
+// journalRecord is one line of the run journal. Exactly the fields for
+// its type are populated.
+type journalRecord struct {
+	T string `json:"t"`
+
+	// recRun
+	Spec      *RunSpec `json:"spec,omitempty"`
+	Benchmark string   `json:"benchmark,omitempty"`
+	Points    int      `json:"points,omitempty"`
+
+	// recEpoch
+	Epoch uint64 `json:"epoch,omitempty"`
+
+	// recResult — lease coverage plus the posted partial.
+	Kind     string    `json:"kind,omitempty"`
+	Shard    int       `json:"shard"`
+	Start    int       `json:"start"`
+	Count    int       `json:"count,omitempty"`
+	CPIs     []float64 `json:"cpis,omitempty"`
+	BaseCPIs []float64 `json:"baseCpis,omitempty"`
+	ExpCPIs  []float64 `json:"expCpis,omitempty"`
+
+	UnknownFetches uint64 `json:"unknownFetches,omitempty"`
+	UnknownLoads   uint64 `json:"unknownLoads,omitempty"`
+	CaptureErrors  uint64 `json:"captureErrors,omitempty"`
+	LoadMillis     int64  `json:"loadMillis,omitempty"`
+	SimMillis      int64  `json:"simMillis,omitempty"`
+}
+
+// Journal is an append-only, fsync-per-record run log.
+type Journal struct {
+	f    *os.File
+	path string
+
+	mAppends  *obs.Counter
+	mBytes    *obs.Counter
+	mReplayed *obs.Counter
+	hFsync    *obs.Histogram
+}
+
+// openJournal opens (or creates) the journal at path, reads every intact
+// record, truncates a torn tail, and leaves the file positioned for
+// appending.
+func openJournal(path string, reg *obs.Registry) (*Journal, []journalRecord, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lpcluster: opening journal: %w", err)
+	}
+	recs, good, err := readRecords(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	// Drop a torn tail (a record half-written when the previous
+	// incarnation died) so future appends produce a clean log.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("lpcluster: truncating torn journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("lpcluster: seeking journal end: %w", err)
+	}
+	j := &Journal{
+		f:         f,
+		path:      path,
+		mAppends:  reg.Counter("lpcluster_journal_appends_total", "Records appended to the run journal."),
+		mBytes:    reg.Counter("lpcluster_journal_bytes_total", "Bytes appended to the run journal."),
+		mReplayed: reg.Counter("lpcluster_journal_replayed_results_total", "Result records refolded from the journal on resume."),
+		hFsync:    reg.Histogram("lpcluster_journal_fsync_seconds", "Latency of the per-record append+fsync.", obs.DefSeconds),
+	}
+	return j, recs, nil
+}
+
+// readRecords decodes journal lines until EOF or the first record that
+// does not parse, returning the intact records and the byte offset of
+// the last good one.
+func readRecords(f *os.File) ([]journalRecord, int64, error) {
+	br := bufio.NewReaderSize(f, 1<<20)
+	var recs []journalRecord
+	var good int64
+	for {
+		line, err := br.ReadBytes('\n')
+		if err == io.EOF {
+			// A trailing fragment with no newline is a torn append.
+			return recs, good, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("lpcluster: reading journal: %w", err)
+		}
+		var rec journalRecord
+		if json.Unmarshal(line, &rec) != nil || rec.T == "" {
+			// Torn or corrupt record: everything from here on was never
+			// acknowledged; replay stops at the last good byte.
+			return recs, good, nil
+		}
+		recs = append(recs, rec)
+		good += int64(len(line))
+	}
+}
+
+// append writes one record and fsyncs before returning, upholding the
+// write-ahead contract: a record the coordinator acts on is on disk.
+func (j *Journal) append(rec journalRecord) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("lpcluster: encoding journal record: %w", err)
+	}
+	body = append(body, '\n')
+	t0 := time.Now()
+	if _, err := j.f.Write(body); err != nil {
+		return fmt.Errorf("lpcluster: appending journal record: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("lpcluster: syncing journal: %w", err)
+	}
+	j.hFsync.Observe(time.Since(t0).Seconds())
+	j.mAppends.Inc()
+	j.mBytes.Add(uint64(len(body)))
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -118,8 +118,15 @@ type LeaseRequest struct {
 // Lease is one unit of assigned work. The worker must post its Result
 // before the lease's deadline (TTLMillis from issue) or the coordinator
 // reassigns the same points under a new lease id.
+//
+// Epoch is the coordinator incarnation that issued the lease; the worker
+// echoes it in the Result. A journaled coordinator that is restarted
+// bumps its epoch, so results for pre-restart leases — whose ids may
+// collide with fresh ones — are rejected with 410 instead of folded
+// twice.
 type Lease struct {
 	ID        uint64 `json:"id"`
+	Epoch     uint64 `json:"epoch"`
 	Kind      string `json:"kind"` // LeaseShard or LeaseRange
 	Shard     int    `json:"shard,omitempty"`
 	Start     int    `json:"start,omitempty"` // range: first read-order position
@@ -143,7 +150,9 @@ type LeaseResponse struct {
 // configurations for matched mode) plus aggregated counters and timings.
 type Result struct {
 	LeaseID uint64 `json:"leaseId"`
-	Worker  string `json:"worker"`
+	// Epoch must echo the lease's Epoch; a stale epoch is rejected 410.
+	Epoch  uint64 `json:"epoch"`
+	Worker string `json:"worker"`
 
 	CPIs     []float64 `json:"cpis,omitempty"`     // absolute mode
 	BaseCPIs []float64 `json:"baseCpis,omitempty"` // matched mode
@@ -181,6 +190,7 @@ type RunState struct {
 	Spec   RunSpec `json:"spec"`
 	Points int     `json:"points"` // library size
 	Phase  string  `json:"phase"`
+	Epoch  uint64  `json:"epoch"` // coordinator incarnation (>0 after a journal resume)
 
 	Done          int `json:"done"` // positions completed
 	ActiveLeases  int `json:"activeLeases"`

@@ -2,8 +2,11 @@ package lpcluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"livepoints/internal/livepoint"
@@ -12,12 +15,25 @@ import (
 	"livepoints/internal/uarch"
 )
 
+// Reconnect backoff while the coordinator is unreachable: capped
+// exponential with full jitter, so a restarted coordinator is not hit by
+// the whole fleet in the same instant.
+const (
+	reconnectBase = 500 * time.Millisecond
+	reconnectCap  = 15 * time.Second
+)
+
 // Worker is one stateless lease puller: it reads the run spec from the
 // coordinator, then loops acquire → fetch → simulate → post until the
 // coordinator reports the run done. All coordinator traffic rides the
 // lpserve client's retry policy (per-request timeouts, capped exponential
-// backoff), so transient network failures and coordinator restarts under
-// a load balancer do not kill the fleet.
+// backoff); beyond that, a worker outlives the coordinator itself — when
+// the server becomes unreachable (crash, restart, network partition) the
+// worker backs off with jitter, re-fetches the run spec once the
+// coordinator answers again, and continues pulling. A journaled
+// coordinator restart therefore needs no fleet restart: the worker's
+// pre-restart lease is rejected with 410 (stale epoch), counted under
+// Expired, and replaced by a fresh one.
 //
 // A worker that loses a lease race — its lease expired and was reassigned
 // while it was still simulating — discards that work and moves on; the
@@ -36,10 +52,15 @@ type Worker struct {
 	exp     uarch.Config
 	matched bool
 
+	draining atomic.Bool
+
 	// Leases and Points count successfully posted work.
 	Leases, Points int
-	// Expired counts leases lost to expiry (work discarded).
+	// Expired counts leases lost to expiry or a coordinator restart
+	// (work discarded).
 	Expired int
+	// Reconnects counts coordinator outages ridden out.
+	Reconnects int
 }
 
 // NewWorker returns a worker pulling from the coordinator behind cl's
@@ -48,20 +69,106 @@ func NewWorker(id string, cl *lpserve.Client) *Worker {
 	return &Worker{ID: id, cl: cl}
 }
 
-// Run pulls and simulates leases until the run completes, the context is
-// cancelled, or a non-recoverable error occurs.
-func (w *Worker) Run(ctx context.Context) error {
-	var state RunState
-	if err := w.cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &state); err != nil {
-		return fmt.Errorf("lpcluster: worker %s: fetching run spec: %w", w.ID, err)
-	}
-	base, exp, err := state.Spec.Configs()
-	if err != nil {
-		return fmt.Errorf("lpcluster: worker %s: %w", w.ID, err)
-	}
-	w.base, w.exp, w.matched = base, exp, state.Spec.Mode == ModeMatched
+// Drain asks the worker to stop at the next lease boundary: the
+// in-flight lease (if any) is finished and posted, no further lease is
+// acquired, and Run returns nil. Safe to call from any goroutine; this
+// is the graceful half of lpworker's SIGTERM handling.
+func (w *Worker) Drain() { w.draining.Store(true) }
 
+// transient reports whether a coordinator request failed in a way worth
+// outwaiting: a transport-level error (connection refused, reset, timeout
+// — the coordinator may be restarting) or a 5xx verdict. 4xx responses
+// are protocol outcomes, not outages.
+func transient(err error) bool {
+	var se *lpserve.StatusError
+	if errors.As(err, &se) {
+		return se.Code >= 500
+	}
+	return true
+}
+
+// Run pulls and simulates leases until the run completes, Drain is
+// called, the context is cancelled, or a non-recoverable error occurs.
+// While the coordinator is unreachable it waits with jittered capped
+// backoff and re-fetches the run spec before pulling again.
+func (w *Worker) Run(ctx context.Context) error {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	outage := 0
 	for {
+		if w.draining.Load() {
+			return nil
+		}
+		var state RunState
+		if err := w.cl.DoJSON(ctx, http.MethodGet, "/v1/run", nil, &state); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if transient(err) {
+				if err := w.awaitCoordinator(ctx, rng, &outage, err); err != nil {
+					return err
+				}
+				continue
+			}
+			return fmt.Errorf("lpcluster: worker %s: fetching run spec: %w", w.ID, err)
+		}
+		outage = 0
+		base, exp, err := state.Spec.Configs()
+		if err != nil {
+			return fmt.Errorf("lpcluster: worker %s: %w", w.ID, err)
+		}
+		w.base, w.exp, w.matched = base, exp, state.Spec.Mode == ModeMatched
+
+		err = w.pull(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if transient(err) {
+			// Coordinator lost mid-pull: outwait it, then re-enter the
+			// outer loop to re-read the (possibly resumed) run spec.
+			if err := w.awaitCoordinator(ctx, rng, &outage, err); err != nil {
+				return err
+			}
+			continue
+		}
+		return err
+	}
+}
+
+// awaitCoordinator sleeps one jittered backoff step, logging the outage.
+func (w *Worker) awaitCoordinator(ctx context.Context, rng *rand.Rand, outage *int, cause error) error {
+	d := reconnectBase << uint(*outage)
+	if d > reconnectCap || d <= 0 {
+		d = reconnectCap
+	}
+	// Full jitter: anywhere in (0, d], desynchronizing the fleet's
+	// reconnect stampede.
+	d = time.Duration(1 + rng.Int63n(int64(d)))
+	if *outage == 0 {
+		w.Reconnects++
+	}
+	*outage++
+	w.Log.Warn("coordinator unreachable; backing off",
+		"worker", w.ID, "wait", d, "attempt", *outage, "err", cause)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// pull loops acquire → simulate → post until the run is done (returns
+// nil), the worker is draining (nil), the context is cancelled, or a
+// request fails (the caller decides whether the failure is an outage
+// worth outwaiting).
+func (w *Worker) pull(ctx context.Context) error {
+	for {
+		if w.draining.Load() {
+			return nil
+		}
 		var lr LeaseResponse
 		if err := w.cl.DoJSON(ctx, http.MethodPost, "/v1/leases", LeaseRequest{Worker: w.ID}, &lr); err != nil {
 			return fmt.Errorf("lpcluster: worker %s: acquiring lease: %w", w.ID, err)
@@ -90,7 +197,9 @@ func (w *Worker) Run(ctx context.Context) error {
 		var rr ResultResponse
 		err = w.cl.DoJSON(ctx, http.MethodPost, "/v1/results", res, &rr)
 		if lpserve.IsStatus(err, http.StatusGone) || lpserve.IsStatus(err, http.StatusConflict) {
-			// Deadline blown mid-simulation; the points were reassigned.
+			// Deadline blown mid-simulation, or the coordinator restarted
+			// under this lease; either way the points belong to a newer
+			// lease now.
 			w.Expired++
 			continue
 		}
@@ -133,7 +242,7 @@ func (w *Worker) simulate(ctx context.Context, l *Lease) (*Result, error) {
 	}
 	fetch := time.Since(t0)
 
-	res := &Result{LeaseID: l.ID, Worker: w.ID}
+	res := &Result{LeaseID: l.ID, Epoch: l.Epoch, Worker: w.ID}
 	if w.matched {
 		baseCPIs, expCPIs, rr, err := livepoint.SimBlobsMatched(blobs, w.base, w.exp)
 		if err != nil {

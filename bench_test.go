@@ -618,3 +618,127 @@ func BenchmarkClusterTurnaround(b *testing.B) {
 		})
 	}
 }
+
+// decodeBench lazily builds one small library of real live-points (full
+// live-state, syn.gzip) shared by the decode-path benchmarks.
+var (
+	decodeBenchOnce sync.Once
+	decodeBench     [][]byte
+	decodeBenchErr  error
+)
+
+func decodeBenchBlobs(b *testing.B) [][]byte {
+	b.Helper()
+	decodeBenchOnce.Do(func() {
+		cfg := uarch.Config8Way()
+		spec, err := prog.ByName("syn.gzip")
+		if err != nil {
+			decodeBenchErr = err
+			return
+		}
+		p := prog.Generate(spec, 0.02)
+		benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+		if err != nil {
+			decodeBenchErr = err
+			return
+		}
+		design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 20, 1)
+		if err != nil {
+			decodeBenchErr = err
+			return
+		}
+		opts := livepoint.CreateOpts{MaxHier: cfg.Hier, Preds: []bpred.Config{cfg.BP}}
+		decodeBenchErr = livepoint.Create(p, design, opts, func(lp *livepoint.LivePoint) error {
+			blob, _ := livepoint.Encode(lp)
+			decodeBench = append(decodeBench, blob)
+			return nil
+		})
+	})
+	if decodeBenchErr != nil {
+		b.Fatal(decodeBenchErr)
+	}
+	return decodeBench
+}
+
+// BenchmarkDecodeAlloc is the pre-optimization decode path: a fresh
+// LivePoint (and all its backing storage) per blob. Kept as the baseline
+// the zero-allocation path is measured against (BENCH_9.json).
+func BenchmarkDecodeAlloc(b *testing.B) {
+	blobs := decodeBenchBlobs(b)
+	var bytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := blobs[i%len(blobs)]
+		if _, err := livepoint.Decode(blob); err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(blob))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkDecodeInto is the steady-state zero-allocation decode: one
+// reused LivePoint rotating through the library.
+func BenchmarkDecodeInto(b *testing.B) {
+	blobs := decodeBenchBlobs(b)
+	var lp livepoint.LivePoint
+	for _, blob := range blobs {
+		if err := livepoint.DecodeInto(&lp, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var bytes int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blob := blobs[i%len(blobs)]
+		if err := livepoint.DecodeInto(&lp, blob); err != nil {
+			b.Fatal(err)
+		}
+		bytes += int64(len(blob))
+	}
+	b.SetBytes(bytes / int64(b.N))
+}
+
+// BenchmarkLoadPipelineAlloc is the pre-optimization blob→warmed-state
+// path: allocating decode plus allocating reconstruction, per point.
+func BenchmarkLoadPipelineAlloc(b *testing.B) {
+	blobs := decodeBenchBlobs(b)
+	cfg := uarch.Config8Way()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lp, err := livepoint.Decode(blobs[i%len(blobs)])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := lp.Reconstruct(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLoadPipeline is the optimized blob→warmed-state path the
+// runners use: DecodeInto a reused point, reconstruct through a SimArena.
+func BenchmarkLoadPipeline(b *testing.B) {
+	blobs := decodeBenchBlobs(b)
+	cfg := uarch.Config8Way()
+	var lp livepoint.LivePoint
+	var arena livepoint.SimArena
+	for _, blob := range blobs {
+		if err := livepoint.DecodeInto(&lp, blob); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := livepoint.DecodeInto(&lp, blobs[i%len(blobs)]); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := arena.Reconstruct(&lp, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -159,6 +159,12 @@ type Decoder struct {
 // NewDecoder returns a decoder over the input.
 func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
 
+// Over returns a value Decoder over the input. Unlike NewDecoder it never
+// touches the heap, which matters to allocation-free decode paths: child
+// decoders obtained with ReadSequence/ReadContext live on the caller's
+// stack.
+func Over(buf []byte) Decoder { return Decoder{buf: buf} }
+
 // More reports whether undecoded bytes remain.
 func (d *Decoder) More() bool { return d.off < len(d.buf) }
 
@@ -298,6 +304,12 @@ func (d *Decoder) UTF8String() (string, error) {
 	return string(c), nil
 }
 
+// UTF8Bytes reads a UTF8String and returns its raw contents. The returned
+// slice aliases the input; callers that keep it must copy. Allocation-free
+// decoders use it to compare against an already-interned string before
+// converting.
+func (d *Decoder) UTF8Bytes() ([]byte, error) { return d.expect(TagUTF8String) }
+
 // Sequence reads a SEQUENCE and returns a decoder over its contents.
 func (d *Decoder) Sequence() (*Decoder, error) {
 	c, err := d.expect(TagSequence)
@@ -315,6 +327,27 @@ func (d *Decoder) Context(n int) (*Decoder, error) {
 		return nil, err
 	}
 	return NewDecoder(c), nil
+}
+
+// ReadSequence reads a SEQUENCE and returns a value decoder over its
+// contents. Semantically identical to Sequence, but the child decoder is
+// returned by value so hot decode loops stay allocation-free.
+func (d *Decoder) ReadSequence() (Decoder, error) {
+	c, err := d.expect(TagSequence)
+	if err != nil {
+		return Decoder{}, err
+	}
+	return Decoder{buf: c}, nil
+}
+
+// ReadContext reads a context-specific constructed element [n] and returns
+// a value decoder over its contents (the allocation-free Context).
+func (d *Decoder) ReadContext(n int) (Decoder, error) {
+	c, err := d.expect(ContextTag(n))
+	if err != nil {
+		return Decoder{}, err
+	}
+	return Decoder{buf: c}, nil
 }
 
 // PeekTag returns the next element's tag without consuming it.

@@ -460,6 +460,58 @@ func (p *Predictor) Reset() {
 	p.Stat = Stats{}
 }
 
+// ResetTo reconfigures the predictor to cfg and resets it to power-on
+// state, reusing table, RAS, and BTB backing arrays whenever capacities
+// allow. A predictor reset to a configuration is indistinguishable from
+// one freshly built with New.
+func (p *Predictor) ResetTo(cfg Config) error {
+	if cfg != p.cfg {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		p.cfg = cfg
+		p.ras = resizeU64(p.ras, cfg.RASSize)
+		p.btb = resizeBTB(p.btb, cfg.BTBSets*cfg.BTBAssoc)
+		switch cfg.Kind {
+		case Bimodal:
+			p.bimodal = resizeU8(p.bimodal, cfg.TableSize)
+			p.pht = p.pht[:0]
+			p.meta = p.meta[:0]
+		case GShare:
+			p.bimodal = p.bimodal[:0]
+			p.pht = resizeU8(p.pht, cfg.TableSize)
+			p.meta = p.meta[:0]
+		default: // Combined
+			p.bimodal = resizeU8(p.bimodal, cfg.TableSize)
+			p.pht = resizeU8(p.pht, cfg.TableSize)
+			p.meta = resizeU8(p.meta, cfg.TableSize)
+		}
+	}
+	p.Reset() // re-initializes every (possibly stale) slot
+	return nil
+}
+
+func resizeU8(s []uint8, n int) []uint8 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint8, n)
+}
+
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]uint64, n)
+}
+
+func resizeBTB(s []btbEntry, n int) []btbEntry {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]btbEntry, n)
+}
+
 // SnapshotBytes returns the worst-case uncompressed snapshot size for a
 // config (all BTB entries valid), without building a predictor. Used for
 // storage accounting.

@@ -260,6 +260,34 @@ func (c *Cache) Reset() {
 	c.Stat = Stats{}
 }
 
+// ResetTo reconfigures the cache to cfg and resets it cold, reusing the
+// line array whenever its capacity suffices. A cache reset to a
+// configuration is indistinguishable from one freshly built with New, so
+// per-point reconstruction can recycle one arena cache per structure
+// instead of allocating.
+func (c *Cache) ResetTo(cfg Config) error {
+	if cfg != c.cfg {
+		if err := cfg.Validate(); err != nil {
+			return err
+		}
+		n := cfg.Sets() * int64(cfg.Assoc)
+		if int64(cap(c.lines)) >= n {
+			c.lines = c.lines[:n]
+		} else {
+			c.lines = make([]Line, n)
+		}
+		c.cfg = cfg
+		c.setMask = uint64(cfg.Sets() - 1)
+		c.assoc = cfg.Assoc
+		c.lgLine = 0
+		for l := cfg.LineBytes; l > 1; l >>= 1 {
+			c.lgLine++
+		}
+	}
+	c.Reset()
+	return nil
+}
+
 // Clone returns a deep copy of the cache (state and statistics).
 func (c *Cache) Clone() *Cache {
 	n := New(c.cfg)

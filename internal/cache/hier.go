@@ -190,6 +190,52 @@ func (h *Hier) ResetTransients() {
 	h.MemBus.Reset()
 }
 
+// ResetTo reconfigures the hierarchy to cfg and resets every structure
+// cold, reusing the component caches' line arrays where capacities allow.
+// Equivalent to NewHier(cfg) state-wise, without the per-point allocation.
+func (h *Hier) ResetTo(cfg HierConfig) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	if err := h.L1I.ResetTo(cfg.L1I); err != nil {
+		return err
+	}
+	if err := h.L1D.ResetTo(cfg.L1D); err != nil {
+		return err
+	}
+	if err := h.L2.ResetTo(cfg.L2); err != nil {
+		return err
+	}
+	if err := h.ITLB.ResetTo(cfg.ITLB); err != nil {
+		return err
+	}
+	if err := h.DTLB.ResetTo(cfg.DTLB); err != nil {
+		return err
+	}
+	if cfg.DMSHRs != h.cfg.DMSHRs {
+		h.MSHR = NewMSHRFile(cfg.DMSHRs)
+	} else {
+		h.MSHR.Reset()
+	}
+	if cfg.StoreBufSize != h.cfg.StoreBufSize || cfg.StoreDrain != h.cfg.StoreDrain {
+		h.SB = NewStoreBuffer(cfg.StoreBufSize, cfg.StoreDrain)
+	} else {
+		h.SB.Reset()
+	}
+	if cfg.L2BusBusy != h.cfg.L2BusBusy {
+		h.L2Bus = NewBus("l2bus", cfg.L2BusBusy)
+	} else {
+		h.L2Bus.Reset()
+	}
+	if cfg.MemBusBusy != h.cfg.MemBusBusy {
+		h.MemBus = NewBus("membus", cfg.MemBusBusy)
+	} else {
+		h.MemBus.Reset()
+	}
+	h.cfg = cfg
+	return nil
+}
+
 // Reset empties every structure (cold caches).
 func (h *Hier) Reset() {
 	h.L1I.Reset()

@@ -237,6 +237,16 @@ func New(text TextSource, m MemRW) *CPU {
 	return &CPU{Text: text, Mem: m}
 }
 
+// Reset rebinds the CPU to new text, memory, and architectural state,
+// clearing the warmer. Equivalent to *c = *New(text, m) with c.State = st;
+// arena-based runners reuse one CPU across simulation windows.
+func (c *CPU) Reset(text TextSource, m MemRW, st State) {
+	c.State = st
+	c.Text = text
+	c.Mem = m
+	c.Warm = nil
+}
+
 // Step executes one instruction. It returns ErrHalted when the program has
 // already halted and ErrNoText when the PC has no instruction.
 func (c *CPU) Step() error {

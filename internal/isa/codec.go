@@ -51,16 +51,24 @@ func EncodeText(text []Inst) []byte {
 
 // DecodeText deserializes a contiguous run of instructions.
 func DecodeText(buf []byte) ([]Inst, error) {
+	return AppendText(nil, buf)
+}
+
+// AppendText deserializes a contiguous run of instructions, appending them
+// to dst and returning the extended slice. Passing a slice with spare
+// capacity (typically text[:0] from a previous decode) keeps the call
+// allocation-free in steady state.
+func AppendText(dst []Inst, buf []byte) ([]Inst, error) {
 	if len(buf)%InstBytes != 0 {
 		return nil, fmt.Errorf("isa: text length %d not a multiple of %d", len(buf), InstBytes)
 	}
-	out := make([]Inst, len(buf)/InstBytes)
-	for i := range out {
+	n := len(buf) / InstBytes
+	for i := 0; i < n; i++ {
 		in, err := DecodeInst(buf[i*InstBytes:])
 		if err != nil {
 			return nil, fmt.Errorf("isa: instruction %d: %w", i, err)
 		}
-		out[i] = in
+		dst = append(dst, in)
 	}
-	return out, nil
+	return dst, nil
 }

@@ -3,7 +3,6 @@ package livepoint
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"livepoints/internal/asn1der"
 	"livepoints/internal/bpred"
@@ -60,7 +59,7 @@ func Encode(lp *LivePoint) ([]byte, SizeBreakdown) {
 
 		mark = b.Len()
 		b.Context(1, func(b *asn1der.Builder) {
-			b.OctetString(packMem(lp.Mem))
+			b.OctetString(packMem(&lp.Mem))
 		})
 		bd.Mem = b.Len() - mark
 
@@ -108,164 +107,204 @@ func Encode(lp *LivePoint) ([]byte, SizeBreakdown) {
 	return b.Bytes(), bd
 }
 
-// Decode parses a live-point from its DER encoding.
+// Decode parses a live-point from its DER encoding into a fresh LivePoint.
 func Decode(buf []byte) (*LivePoint, error) {
-	d, err := asn1der.NewDecoder(buf).Sequence()
-	if err != nil {
-		return nil, fmt.Errorf("livepoint: decode: %w", err)
-	}
 	lp := &LivePoint{}
-	if lp.Benchmark, err = d.UTF8String(); err != nil {
+	if err := DecodeInto(lp, buf); err != nil {
 		return nil, err
 	}
+	return lp, nil
+}
+
+// DecodeInto parses a live-point from its DER encoding into lp, reusing the
+// receiver's backing storage (memory table, text ranges, set-record entry
+// slices, predictor snapshots) wherever capacities allow. After the first
+// few points of a stream the call performs no heap allocation, which is
+// what keeps the load path's fixed cost near zero (§5, Table 2).
+//
+// The decoded live-point does not alias buf: every variable-length section
+// is parsed into, or copied to, lp-owned storage, so callers may recycle
+// the blob buffer immediately. On error lp is left partially overwritten
+// and must not be used. Strings (benchmark and structure names) are only
+// reallocated when their value actually changes between points.
+func DecodeInto(lp *LivePoint, buf []byte) error {
+	top := asn1der.Over(buf)
+	d, err := top.ReadSequence()
+	if err != nil {
+		return fmt.Errorf("livepoint: decode: %w", err)
+	}
+	name, err := d.UTF8Bytes()
+	if err != nil {
+		return err
+	}
+	internString(&lp.Benchmark, name)
 	idx, err := d.Uint64()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	lp.Index = int(idx)
 	if lp.Position, err = d.Uint64(); err != nil {
-		return nil, err
+		return err
 	}
 	if lp.WarmLen, err = d.Uint64(); err != nil {
-		return nil, err
+		return err
 	}
 	if lp.UnitLen, err = d.Uint64(); err != nil {
-		return nil, err
+		return err
 	}
 	if lp.FuncWarm, err = d.Uint64(); err != nil {
-		return nil, err
+		return err
 	}
 	if lp.Restricted, err = d.Bool(); err != nil {
-		return nil, err
+		return err
 	}
 
-	ad, err := d.Context(0)
+	ad, err := d.ReadContext(0)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if lp.Arch.PC, err = ad.Uint64(); err != nil {
-		return nil, err
+		return err
 	}
 	regs, err := ad.OctetString()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(regs) != 8*isa.NumRegs {
-		return nil, fmt.Errorf("livepoint: register block is %d bytes, want %d", len(regs), 8*isa.NumRegs)
+		return fmt.Errorf("livepoint: register block is %d bytes, want %d", len(regs), 8*isa.NumRegs)
 	}
 	for i := range lp.Arch.Regs {
 		lp.Arch.Regs[i] = binary.LittleEndian.Uint64(regs[i*8:])
 	}
 
-	md, err := d.Context(1)
+	md, err := d.ReadContext(1)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	memBytes, err := md.OctetString()
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if lp.Mem, err = unpackMem(memBytes); err != nil {
-		return nil, err
+	if len(memBytes)%16 != 0 {
+		return fmt.Errorf("livepoint: memory block length %d not a multiple of 16", len(memBytes))
 	}
+	lp.Mem.setPacked(memBytes)
 
-	td, err := d.Context(2)
+	td, err := d.ReadContext(2)
 	if err != nil {
-		return nil, err
+		return err
 	}
+	// lp.Text is rebuilt in place: entries in the backing array donate their
+	// Insts capacity. The reslice runs to capacity, not the previous length,
+	// so a short point between two long ones doesn't orphan the tail slots'
+	// storage. Reads of oldText[i] happen before the append that overwrites
+	// the shared backing slot, so the aliasing is safe.
+	oldText := lp.Text[:cap(lp.Text)]
+	lp.Text = lp.Text[:0]
 	for td.More() {
-		rd, err := td.Sequence()
+		rd, err := td.ReadSequence()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var r TextRange
+		if len(lp.Text) < len(oldText) {
+			r = oldText[len(lp.Text)]
+		}
 		if r.StartPC, err = rd.Uint64(); err != nil {
-			return nil, err
+			return err
 		}
 		enc, err := rd.OctetString()
 		if err != nil {
-			return nil, err
+			return err
 		}
-		if r.Insts, err = isa.DecodeText(enc); err != nil {
-			return nil, err
+		if r.Insts, err = isa.AppendText(r.Insts[:0], enc); err != nil {
+			return err
 		}
 		lp.Text = append(lp.Text, r)
 	}
 
+	oldCaches, oldTLBs := lp.Caches[:cap(lp.Caches)], lp.TLBs[:cap(lp.TLBs)]
+	oldPreds := lp.Preds[:cap(lp.Preds)]
+	lp.Caches, lp.TLBs, lp.Preds = lp.Caches[:0], lp.TLBs[:0], lp.Preds[:0]
 	for d.More() {
 		tag, err := d.PeekTag()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		switch tag {
 		case asn1der.ContextTag(3):
-			cd, err := d.Context(3)
+			cd, err := d.ReadContext(3)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sr, err := decodeSetRecord(cd)
-			if err != nil {
-				return nil, err
+			sr := reuseRecord(oldCaches, len(lp.Caches))
+			if err := decodeSetRecordInto(sr, &cd); err != nil {
+				return err
 			}
 			lp.Caches = append(lp.Caches, sr)
 		case asn1der.ContextTag(4):
-			cd, err := d.Context(4)
+			cd, err := d.ReadContext(4)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			sr, err := decodeSetRecord(cd)
-			if err != nil {
-				return nil, err
+			sr := reuseRecord(oldTLBs, len(lp.TLBs))
+			if err := decodeSetRecordInto(sr, &cd); err != nil {
+				return err
 			}
 			lp.TLBs = append(lp.TLBs, sr)
 		case asn1der.ContextTag(5):
-			pd, err := d.Context(5)
+			pd, err := d.ReadContext(5)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			cfg, err := decodePredConfig(pd)
-			if err != nil {
-				return nil, err
+			var ps PredSnapshot
+			if len(lp.Preds) < len(oldPreds) {
+				ps = oldPreds[len(lp.Preds)]
+			}
+			if err := decodePredConfigInto(&ps.Cfg, &pd); err != nil {
+				return err
 			}
 			data, err := pd.OctetString()
 			if err != nil {
-				return nil, err
+				return err
 			}
-			snap := make([]byte, len(data))
-			copy(snap, data)
-			lp.Preds = append(lp.Preds, PredSnapshot{Cfg: cfg, Data: snap})
+			ps.Data = append(ps.Data[:0], data...)
+			lp.Preds = append(lp.Preds, ps)
 		default:
-			return nil, fmt.Errorf("livepoint: unexpected section tag %#02x", tag)
+			return fmt.Errorf("livepoint: unexpected section tag %#02x", tag)
 		}
 	}
-	return lp, nil
+	return nil
+}
+
+// internString assigns the byte contents to *s, allocating only when the
+// value differs: the string([]byte) on the comparison side of != does not
+// escape, so repeated decodes of the same name cost nothing.
+func internString(s *string, b []byte) {
+	if *s != string(b) {
+		*s = string(b)
+	}
+}
+
+// reuseRecord returns the i'th record of a previous decode for in-place
+// reuse, or a fresh one past the previous length.
+func reuseRecord(old []*csr.SetRecord, i int) *csr.SetRecord {
+	if i < len(old) && old[i] != nil {
+		return old[i]
+	}
+	return &csr.SetRecord{}
 }
 
 // packMem serializes the live-state words as sorted (addr, value) pairs.
 // Sorting makes encoding deterministic and helps gzip find structure.
-func packMem(m map[uint64]uint64) []byte {
-	addrs := make([]uint64, 0, len(m))
-	for a := range m {
-		addrs = append(addrs, a)
-	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
-	out := make([]byte, 16*len(addrs))
-	for i, a := range addrs {
-		binary.LittleEndian.PutUint64(out[i*16:], a)
-		binary.LittleEndian.PutUint64(out[i*16+8:], m[a])
+func packMem(t *MemTable) []byte {
+	es := t.Entries()
+	out := make([]byte, 16*len(es))
+	for i, e := range es {
+		binary.LittleEndian.PutUint64(out[i*16:], e.Addr)
+		binary.LittleEndian.PutUint64(out[i*16+8:], e.Val)
 	}
 	return out
-}
-
-func unpackMem(b []byte) (map[uint64]uint64, error) {
-	if len(b)%16 != 0 {
-		return nil, fmt.Errorf("livepoint: memory block length %d not a multiple of 16", len(b))
-	}
-	m := make(map[uint64]uint64, len(b)/16)
-	for i := 0; i+16 <= len(b); i += 16 {
-		m[binary.LittleEndian.Uint64(b[i:])] = binary.LittleEndian.Uint64(b[i+8:])
-	}
-	return m, nil
 }
 
 func encodeSetRecord(b *asn1der.Builder, sr *csr.SetRecord) {
@@ -285,16 +324,16 @@ func encodeSetRecord(b *asn1der.Builder, sr *csr.SetRecord) {
 	b.OctetString(payload)
 }
 
-func decodeSetRecord(d *asn1der.Decoder) (*csr.SetRecord, error) {
-	sr := &csr.SetRecord{}
-	var err error
-	if sr.Cfg.Name, err = d.UTF8String(); err != nil {
-		return nil, err
+func decodeSetRecordInto(sr *csr.SetRecord, d *asn1der.Decoder) error {
+	name, err := d.UTF8Bytes()
+	if err != nil {
+		return err
 	}
-	vals := make([]uint64, 4)
+	internString(&sr.Cfg.Name, name)
+	var vals [4]uint64
 	for i := range vals {
 		if vals[i], err = d.Uint64(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	sr.Cfg.SizeBytes = int64(vals[0])
@@ -303,12 +342,17 @@ func decodeSetRecord(d *asn1der.Decoder) (*csr.SetRecord, error) {
 	sr.Cfg.HitLat = int(vals[3])
 	payload, err := d.OctetString()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	if len(payload)%17 != 0 {
-		return nil, fmt.Errorf("livepoint: set record payload %d not a multiple of 17", len(payload))
+		return fmt.Errorf("livepoint: set record payload %d not a multiple of 17", len(payload))
 	}
-	sr.Entries = make([]csr.Entry, len(payload)/17)
+	n := len(payload) / 17
+	if cap(sr.Entries) < n {
+		sr.Entries = make([]csr.Entry, n)
+	} else {
+		sr.Entries = sr.Entries[:n]
+	}
 	for i := range sr.Entries {
 		sr.Entries[i] = csr.Entry{
 			Block: binary.LittleEndian.Uint64(payload[i*17:]),
@@ -316,7 +360,7 @@ func decodeSetRecord(d *asn1der.Decoder) (*csr.SetRecord, error) {
 			Dirty: payload[i*17+16] == 1,
 		}
 	}
-	return sr, nil
+	return nil
 }
 
 func encodePredConfig(b *asn1der.Builder, cfg bpred.Config) {
@@ -329,16 +373,16 @@ func encodePredConfig(b *asn1der.Builder, cfg bpred.Config) {
 	b.Uint64(uint64(cfg.RASSize))
 }
 
-func decodePredConfig(d *asn1der.Decoder) (bpred.Config, error) {
-	var cfg bpred.Config
-	var err error
-	if cfg.Name, err = d.UTF8String(); err != nil {
-		return cfg, err
+func decodePredConfigInto(cfg *bpred.Config, d *asn1der.Decoder) error {
+	name, err := d.UTF8Bytes()
+	if err != nil {
+		return err
 	}
-	vals := make([]uint64, 6)
+	internString(&cfg.Name, name)
+	var vals [6]uint64
 	for i := range vals {
 		if vals[i], err = d.Uint64(); err != nil {
-			return cfg, err
+			return err
 		}
 	}
 	cfg.Kind = bpred.Kind(vals[0])
@@ -347,7 +391,7 @@ func decodePredConfig(d *asn1der.Decoder) (bpred.Config, error) {
 	cfg.BTBSets = int(vals[3])
 	cfg.BTBAssoc = int(vals[4])
 	cfg.RASSize = int(vals[5])
-	return cfg, nil
+	return nil
 }
 
 // interface check: SetRecord round-trips preserve the cache.Config needed

@@ -116,43 +116,74 @@ func (w *Writer) Close() error {
 	return w.gz.Close()
 }
 
-// Reader streams live-points out of a library file.
+// Reader streams live-points out of a library file. Its decompressor and
+// stream buffer come from process-wide pools; call Close when done to
+// return them (and, on a fully drained stream, verify the gzip CRC
+// trailer).
 type Reader struct {
 	gz   *gzip.Reader
 	br   *bufio.Reader
 	Meta Meta
 	read int
+	buf  []byte // NextBlob's reused element buffer
 }
 
 // NewReader reads the header and returns a streaming reader.
 func NewReader(r io.Reader) (*Reader, error) {
-	gz, err := gzip.NewReader(r)
+	gz, err := AcquireGzipReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("livepoint: open library: %w", err)
 	}
-	br := bufio.NewReaderSize(gz, 1<<20)
+	br := acquireBufReader(gz)
 	hdr, err := ReadElement(br)
 	if err != nil {
+		releaseBufReader(br)
+		ReleaseGzipReader(gz)
 		return nil, fmt.Errorf("livepoint: read header: %w", err)
 	}
 	meta, err := decodeMeta(hdr)
 	if err != nil {
+		releaseBufReader(br)
+		ReleaseGzipReader(gz)
 		return nil, err
 	}
 	return &Reader{gz: gz, br: br, Meta: meta}, nil
 }
 
 // NextBlob returns the next encoded live-point, or io.EOF after the last.
+// The returned slice is the reader's reused buffer: it is valid only until
+// the next NextBlob call; callers that retain a blob must copy it.
 func (r *Reader) NextBlob() ([]byte, error) {
 	if r.read >= r.Meta.Count {
 		return nil, io.EOF
 	}
-	blob, err := ReadElement(r.br)
+	blob, err := readElementInto(r.br, r.buf[:0])
 	if err != nil {
 		return nil, fmt.Errorf("livepoint: point %d: %w", r.read, err)
 	}
+	r.buf = blob
 	r.read++
 	return blob, nil
+}
+
+// Close returns the reader's pooled decompression state. When every
+// declared point was read, it first drains the stream to EOF, which forces
+// gzip's CRC-trailer verification — so trailer corruption surfaces here
+// instead of being silently dropped. Close is idempotent.
+func (r *Reader) Close() error {
+	if r.gz == nil {
+		return nil
+	}
+	var err error
+	if r.read >= r.Meta.Count {
+		if _, cerr := io.Copy(io.Discard, r.br); cerr != nil {
+			err = fmt.Errorf("livepoint: verify stream trailer: %w", cerr)
+		}
+	}
+	releaseBufReader(r.br)
+	ReleaseGzipReader(r.gz)
+	r.gz, r.br, r.buf = nil, nil, nil
+	return err
 }
 
 // Next decodes the next live-point, or io.EOF after the last.
@@ -170,32 +201,44 @@ func (r *Reader) Next() (*LivePoint, error) {
 // body, a v2 shard, or a serving batch response — split with repeated
 // calls.
 func ReadElement(br *bufio.Reader) ([]byte, error) {
-	head := make([]byte, 2, 6)
-	if _, err := io.ReadFull(br, head); err != nil {
+	return readElementInto(br, nil)
+}
+
+// readElementInto is ReadElement reusing dst's capacity; steady-state
+// streaming (Reader.NextBlob) stays allocation-free once dst has grown to
+// the library's largest point.
+func readElementInto(br *bufio.Reader, dst []byte) ([]byte, error) {
+	var head [6]byte
+	if _, err := io.ReadFull(br, head[:2]); err != nil {
 		return nil, err
 	}
+	hn := 2
 	l := int(head[1])
 	if l >= 0x80 {
 		nb := l & 0x7F
 		if nb == 0 || nb > 4 {
 			return nil, fmt.Errorf("livepoint: bad length-of-length %d", nb)
 		}
-		ext := make([]byte, nb)
-		if _, err := io.ReadFull(br, ext); err != nil {
+		if _, err := io.ReadFull(br, head[2:2+nb]); err != nil {
 			return nil, err
 		}
-		head = append(head, ext...)
 		l = 0
-		for _, b := range ext {
+		for _, b := range head[2 : 2+nb] {
 			l = l<<8 | int(b)
 		}
+		hn += nb
 	}
-	out := make([]byte, len(head)+l)
-	copy(out, head)
-	if _, err := io.ReadFull(br, out[len(head):]); err != nil {
+	total := hn + l
+	if cap(dst) < total {
+		dst = make([]byte, total)
+	} else {
+		dst = dst[:total]
+	}
+	copy(dst, head[:hn])
+	if _, err := io.ReadFull(br, dst[hn:]); err != nil {
 		return nil, err
 	}
-	return out, nil
+	return dst, nil
 }
 
 // WriteLibrary creates a library file at path from pre-encoded points.
@@ -241,7 +284,11 @@ func ReadAllBlobs(path string) (Meta, [][]byte, error) {
 		if err != nil {
 			return r.Meta, nil, err
 		}
-		blobs = append(blobs, b)
+		// NextBlob's buffer is reused; retained blobs must be copied.
+		blobs = append(blobs, append([]byte(nil), b...))
+	}
+	if err := r.Close(); err != nil {
+		return r.Meta, nil, err
 	}
 	return r.Meta, blobs, nil
 }

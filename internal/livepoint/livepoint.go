@@ -67,7 +67,9 @@ type LivePoint struct {
 	Restricted bool
 
 	Arch ArchState
-	Mem  map[uint64]uint64 // word address -> value (live-state)
+	// Mem holds the live-state words (word address -> first-read value) as
+	// an address-sorted table; use Mem.Map() for a map view.
+	Mem  MemTable
 	Text []TextRange
 
 	Caches []*csr.SetRecord // L1I, L1D, L2 order (max configuration)
@@ -113,14 +115,21 @@ func (ts *textSource) Fetch(pc uint64) (isa.Inst, bool) {
 	return in, ok
 }
 
-// TextSource builds the simulator text source from the stored ranges.
-func (lp *LivePoint) TextSource() functional.TextSource {
-	ts := &textSource{insts: make(map[uint64]isa.Inst, 256)}
+// fill repopulates the text map from a live-point's stored ranges,
+// reusing the map's buckets across points.
+func (ts *textSource) fill(lp *LivePoint) {
+	clear(ts.insts)
 	for _, r := range lp.Text {
 		for i, in := range r.Insts {
 			ts.insts[r.StartPC+uint64(i)] = in
 		}
 	}
+}
+
+// TextSource builds the simulator text source from the stored ranges.
+func (lp *LivePoint) TextSource() functional.TextSource {
+	ts := &textSource{insts: make(map[uint64]isa.Inst, 256)}
+	ts.fill(lp)
 	return ts
 }
 
@@ -278,7 +287,6 @@ func capture(p *prog.Program, master *mem.Memory, arch functional.State,
 		FuncWarm:   funcWarm,
 		Restricted: opts.Restricted,
 		Arch:       ArchState{PC: arch.PC, Regs: arch.Regs},
-		Mem:        make(map[uint64]uint64),
 	}
 
 	// Scout: fork the architectural state over an observing overlay and
@@ -287,7 +295,7 @@ func capture(p *prog.Program, master *mem.Memory, arch functional.State,
 	overlay := mem.NewOverlay(master)
 	overlay.Observe(func(addr, val uint64, ok bool) {
 		if ok {
-			lp.Mem[addr] = val
+			lp.Mem.Set(addr, val)
 		}
 	})
 	scout := functional.New(p, overlay)

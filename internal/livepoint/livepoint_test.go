@@ -112,12 +112,12 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if got.Arch != lp.Arch {
 		t.Fatal("architectural state did not round-trip")
 	}
-	if len(got.Mem) != len(lp.Mem) {
-		t.Fatalf("memory words: %d vs %d", len(got.Mem), len(lp.Mem))
+	if got.Mem.Len() != lp.Mem.Len() {
+		t.Fatalf("memory words: %d vs %d", got.Mem.Len(), lp.Mem.Len())
 	}
-	for a, v := range lp.Mem {
-		if got.Mem[a] != v {
-			t.Fatalf("memory word %#x: %#x vs %#x", a, got.Mem[a], v)
+	for a, v := range lp.Mem.Map() {
+		if gv, ok := got.Mem.Get(a); !ok || gv != v {
+			t.Fatalf("memory word %#x: %#x vs %#x", a, gv, v)
 		}
 	}
 	if got.TextInsts() != lp.TextInsts() {

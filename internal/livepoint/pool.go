@@ -1,0 +1,112 @@
+package livepoint
+
+import (
+	"bufio"
+	"compress/gzip"
+	"io"
+	"sync"
+)
+
+// Pools for the load path's fixed-cost objects. The paper's load-time
+// claim (§5, Table 2) only holds if loading a point costs decompression
+// and decode work, not allocator and GC work; everything here exists to
+// keep the steady-state per-point heap traffic at zero.
+
+var gzipReaders sync.Pool
+
+// AcquireGzipReader returns a decompressor reset over r, reusing a pooled
+// gzip.Reader when one is available. Pair with ReleaseGzipReader.
+func AcquireGzipReader(r io.Reader) (*gzip.Reader, error) {
+	var gz *gzip.Reader
+	if v := gzipReaders.Get(); v != nil {
+		mGzipPoolHits.Inc()
+		gz = v.(*gzip.Reader)
+	} else {
+		mGzipPoolMisses.Inc()
+		gz = new(gzip.Reader)
+	}
+	if err := gz.Reset(r); err != nil {
+		gzipReaders.Put(gz)
+		return nil, err
+	}
+	return gz, nil
+}
+
+// ReleaseGzipReader returns gz to the pool. The caller must not touch gz
+// afterwards. Releasing mid-stream is fine: Reset discards any state.
+func ReleaseGzipReader(gz *gzip.Reader) {
+	if gz != nil {
+		gzipReaders.Put(gz)
+	}
+}
+
+const streamBufSize = 1 << 20
+
+var bufReaders sync.Pool
+
+func acquireBufReader(r io.Reader) *bufio.Reader {
+	if v := bufReaders.Get(); v != nil {
+		mBufioPoolHits.Inc()
+		br := v.(*bufio.Reader)
+		br.Reset(r)
+		return br
+	}
+	mBufioPoolMisses.Inc()
+	return bufio.NewReaderSize(r, streamBufSize)
+}
+
+func releaseBufReader(br *bufio.Reader) {
+	if br != nil {
+		br.Reset(nil) // drop the underlying reader so the pool pins no stream
+		bufReaders.Put(br)
+	}
+}
+
+var livePoints sync.Pool
+
+// acquireLivePoint returns a LivePoint whose backing storage carries over
+// from earlier decodes, so DecodeInto into it is allocation-free once the
+// pool is warm.
+func acquireLivePoint() *LivePoint {
+	if v := livePoints.Get(); v != nil {
+		mPointPoolHits.Inc()
+		return v.(*LivePoint)
+	}
+	mPointPoolMisses.Inc()
+	return &LivePoint{}
+}
+
+func releaseLivePoint(lp *LivePoint) {
+	if lp != nil {
+		livePoints.Put(lp)
+	}
+}
+
+// blobBufs holds *[]byte (a pointer, so Put/Get never box a slice header
+// on the heap). Undersized buffers are regrown in place, converging the
+// pool on the library's largest blob.
+var blobBufs sync.Pool
+
+// acquireBlobBuf returns a buffer of length n, reusing pooled capacity.
+func acquireBlobBuf(n int) *[]byte {
+	if v := blobBufs.Get(); v != nil {
+		pb := v.(*[]byte)
+		if cap(*pb) >= n {
+			mBlobPoolHits.Inc()
+			*pb = (*pb)[:n]
+			return pb
+		}
+		mBlobPoolMisses.Inc()
+		*pb = make([]byte, n)
+		return pb
+	}
+	mBlobPoolMisses.Inc()
+	b := make([]byte, n)
+	return &b
+}
+
+func releaseBlobBuf(pb *[]byte) {
+	if pb != nil {
+		blobBufs.Put(pb)
+	}
+}

@@ -105,6 +105,8 @@ func RunSource(src Source, opts RunOpts) (*RunResult, error) {
 func runSerial(src Source, opts RunOpts) (*RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
+	var lp LivePoint
+	var arena SimArena
 	for {
 		if opts.MaxPoints > 0 && res.Processed >= opts.MaxPoints {
 			break
@@ -117,14 +119,14 @@ func runSerial(src Source, opts RunOpts) (*RunResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		lp, err := Decode(blob)
-		if err != nil {
+		if err := DecodeInto(&lp, blob); err != nil {
 			return nil, err
 		}
+		mDecodedBytes.Add(uint64(len(blob)))
 		res.LoadTime += time.Since(t0)
 
 		t0 = time.Now()
-		wr, err := Simulate(lp, opts.Cfg)
+		wr, err := arena.Simulate(&lp, opts.Cfg)
 		if err != nil {
 			return nil, fmt.Errorf("livepoint: point %d: %w", lp.Index, err)
 		}
@@ -176,46 +178,96 @@ func collectOuts(outs <-chan simOut, res *RunResult, online *sampling.OnlineEsti
 	return firstErr
 }
 
-// runParallel fans simulation out over worker goroutines — the paper's
-// parallel live-point processing (§6). The estimate folds results in
-// completion order, which is still an unbiased sample of a shuffled
-// library; unlike serial runs the exact stopping point is scheduling-
-// dependent.
-func runParallel(src Source, opts RunOpts) (*RunResult, error) {
-	res := &RunResult{}
-	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
+// decodeAhead returns the bound on decoded points buffered ahead of the
+// simulation workers: deep enough to ride out per-point sim-time variance,
+// shallow enough to cap fail-fast overshoot and resident LivePoints.
+func decodeAhead(parallel int) int { return 2 * parallel }
 
-	// Load/sim split, summed across the feeder and all workers — the
-	// same accounting the serial path reports (stream reads and decode
-	// are load, detailed simulation is sim), never wall-clock.
-	var loadNS, simNS atomic.Int64
-
-	blobs := make(chan []byte, opts.Parallel)
-	outs := make(chan simOut, opts.Parallel)
+// simWorkers starts the simulation stage: parallel goroutines, each with
+// its own SimArena, draining decoded points from lpc into outs. It
+// returns a channel that closes when the stage has drained.
+func simWorkers(lpc <-chan *LivePoint, outs chan<- simOut, parallel int, cfg uarch.Config, simNS *atomic.Int64) <-chan struct{} {
 	var wg sync.WaitGroup
-	for w := 0; w < opts.Parallel; w++ {
+	for w := 0; w < parallel; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for blob := range blobs {
+			var arena SimArena
+			for lp := range lpc {
 				t0 := time.Now()
-				lp, err := Decode(blob)
-				loadNS.Add(int64(time.Since(t0)))
-				if err != nil {
-					outs <- simOut{err: err}
-					continue
-				}
-				t0 = time.Now()
-				wr, err := Simulate(lp, opts.Cfg)
+				wr, err := arena.Simulate(lp, cfg)
 				simNS.Add(int64(time.Since(t0)))
+				if err != nil {
+					err = fmt.Errorf("livepoint: point %d: %w", lp.Index, err)
+				}
+				releaseLivePoint(lp)
 				outs <- simOut{wr: wr, err: err}
 			}
 		}()
 	}
+	simDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(simDone)
+	}()
+	return simDone
+}
+
+// runParallel fans simulation out over worker goroutines — the paper's
+// parallel live-point processing (§6) — as a three-stage pipeline:
+//
+//	feeder (stream reads) → decoders (DecodeInto pooled points) → sim workers
+//
+// The decode stage runs ahead of simulation through the bounded lpc
+// channel, so stream I/O and decompression overlap detailed simulation
+// instead of serializing with it. Blobs are copied into pooled buffers
+// before crossing the first channel — Source.NextBlob's return is only
+// valid until the next call. The estimate folds results in completion
+// order, which is still an unbiased sample of a shuffled library; unlike
+// serial runs the exact stopping point is scheduling-dependent.
+func runParallel(src Source, opts RunOpts) (*RunResult, error) {
+	res := &RunResult{}
+	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
+
+	// Load/sim split, summed across all stages — the same accounting the
+	// serial path reports (stream reads and decode are load, detailed
+	// simulation is sim), never wall-clock.
+	var loadNS, simNS atomic.Int64
+
+	blobc := make(chan *[]byte, opts.Parallel)
+	lpc := make(chan *LivePoint, decodeAhead(opts.Parallel))
+	outs := make(chan simOut, opts.Parallel)
+
+	// Decode stage: a single stream feeds it, so half the sim width keeps
+	// the pipeline full while decode stays the cheap stage.
+	var dwg sync.WaitGroup
+	for w := 0; w < (opts.Parallel+1)/2; w++ {
+		dwg.Add(1)
+		go func() {
+			defer dwg.Done()
+			for pb := range blobc {
+				t0 := time.Now()
+				lp := acquireLivePoint()
+				err := DecodeInto(lp, *pb)
+				mDecodedBytes.Add(uint64(len(*pb)))
+				releaseBlobBuf(pb)
+				loadNS.Add(int64(time.Since(t0)))
+				if err != nil {
+					releaseLivePoint(lp)
+					outs <- simOut{err: err}
+					continue
+				}
+				lpc <- lp
+				mDecodeAheadDepth.Set(float64(len(lpc)))
+			}
+		}()
+	}
+	simDone := simWorkers(lpc, outs, opts.Parallel, opts.Cfg, &simNS)
+
 	done := make(chan struct{})
 	var feedErr error
 	go func() {
-		defer close(blobs)
+		defer close(blobc)
 		sent := 0
 		for {
 			if opts.MaxPoints > 0 && sent >= opts.MaxPoints {
@@ -223,24 +275,33 @@ func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 			}
 			t0 := time.Now()
 			blob, err := src.NextBlob()
-			loadNS.Add(int64(time.Since(t0)))
 			if err == io.EOF {
+				loadNS.Add(int64(time.Since(t0)))
 				return
 			}
 			if err != nil {
+				loadNS.Add(int64(time.Since(t0)))
 				feedErr = err
 				return
 			}
+			pb := acquireBlobBuf(len(blob))
+			copy(*pb, blob)
+			loadNS.Add(int64(time.Since(t0)))
 			select {
-			case blobs <- blob:
+			case blobc <- pb:
 				sent++
 			case <-done:
+				releaseBlobBuf(pb)
 				return
 			}
 		}
 	}()
 	go func() {
-		wg.Wait()
+		dwg.Wait()
+		close(lpc)
+	}()
+	go func() {
+		<-simDone
 		close(outs)
 	}()
 
@@ -260,11 +321,14 @@ func runParallel(src Source, opts RunOpts) (*RunResult, error) {
 
 // runSharded is runParallel for whole-library passes over sharded
 // sources: instead of one feeder goroutine decompressing a shared stream,
-// workers claim whole shards and decompress them concurrently, so load
-// bandwidth scales with Parallel. Every point is processed — RunSource
-// routes truncated runs (stopping rule or point cap) through runParallel,
-// because a shard-major prefix of physically consecutive points is not an
-// unbiased sample.
+// decode workers claim whole shards and decompress them concurrently, so
+// load bandwidth scales with Parallel. Decoded points flow through the
+// same bounded decode-ahead channel into the simulation stage; no blob
+// copy is needed here because each decode worker calls DecodeInto before
+// its next NextBlob on the same shard stream. Every point is processed —
+// RunSource routes truncated runs (stopping rule or point cap) through
+// runParallel, because a shard-major prefix of physically consecutive
+// points is not an unbiased sample.
 func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(opts.Z, opts.RelErr, opts.RecordHistory)
@@ -272,12 +336,16 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 	var loadNS, simNS atomic.Int64
 
 	shardc := make(chan int)
+	lpc := make(chan *LivePoint, decodeAhead(opts.Parallel))
 	outs := make(chan simOut, opts.Parallel)
-	var wg sync.WaitGroup
+
+	// Decode stage at full sim width: shards are independent streams, so
+	// decompression bandwidth scales until the sim stage is the bottleneck.
+	var dwg sync.WaitGroup
 	for w := 0; w < opts.Parallel; w++ {
-		wg.Add(1)
+		dwg.Add(1)
 		go func() {
-			defer wg.Done()
+			defer dwg.Done()
 			for s := range shardc {
 				t0 := time.Now()
 				sub, err := ss.OpenShard(s)
@@ -293,30 +361,33 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 				for {
 					t0 := time.Now()
 					blob, err := sub.NextBlob()
-					loadNS.Add(int64(time.Since(t0)))
 					if err == io.EOF {
+						loadNS.Add(int64(time.Since(t0)))
 						break
 					}
 					if err != nil {
+						loadNS.Add(int64(time.Since(t0)))
 						outs <- simOut{err: err}
 						break
 					}
-					t0 = time.Now()
-					lp, err := Decode(blob)
+					lp := acquireLivePoint()
+					derr := DecodeInto(lp, blob)
+					mDecodedBytes.Add(uint64(len(blob)))
 					loadNS.Add(int64(time.Since(t0)))
-					if err != nil {
-						outs <- simOut{err: err}
+					if derr != nil {
+						releaseLivePoint(lp)
+						outs <- simOut{err: derr}
 						continue
 					}
-					t0 = time.Now()
-					wr, err := Simulate(lp, opts.Cfg)
-					simNS.Add(int64(time.Since(t0)))
-					outs <- simOut{wr: wr, err: err}
+					lpc <- lp
+					mDecodeAheadDepth.Set(float64(len(lpc)))
 				}
 				sub.Close()
 			}
 		}()
 	}
+	simDone := simWorkers(lpc, outs, opts.Parallel, opts.Cfg, &simNS)
+
 	done := make(chan struct{})
 	go func() {
 		defer close(shardc)
@@ -329,7 +400,11 @@ func runSharded(ss ShardedSource, opts RunOpts) (*RunResult, error) {
 		}
 	}()
 	go func() {
-		wg.Wait()
+		dwg.Wait()
+		close(lpc)
+	}()
+	go func() {
+		<-simDone
 		close(outs)
 	}()
 
@@ -353,16 +428,18 @@ func SimBlobs(blobs [][]byte, cfg uarch.Config) ([]float64, *RunResult, error) {
 	res := &RunResult{}
 	online := sampling.NewOnline(sampling.Z997, 0, false)
 	cpis := make([]float64, 0, len(blobs))
+	var lp LivePoint
+	var arena SimArena
 	for _, blob := range blobs {
 		t0 := time.Now()
-		lp, err := Decode(blob)
-		if err != nil {
+		if err := DecodeInto(&lp, blob); err != nil {
 			return nil, nil, err
 		}
+		mDecodedBytes.Add(uint64(len(blob)))
 		res.LoadTime += time.Since(t0)
 
 		t0 = time.Now()
-		wr, err := Simulate(lp, cfg)
+		wr, err := arena.Simulate(&lp, cfg)
 		if err != nil {
 			return nil, nil, fmt.Errorf("livepoint: point %d: %w", lp.Index, err)
 		}
@@ -385,20 +462,24 @@ func SimBlobsMatched(blobs [][]byte, base, exp uarch.Config) (baseCPIs, expCPIs 
 	online := sampling.NewOnline(sampling.Z997, 0, false)
 	baseCPIs = make([]float64, 0, len(blobs))
 	expCPIs = make([]float64, 0, len(blobs))
+	var lp LivePoint
+	// One arena per configuration, so neither thrashes its structures
+	// reconfiguring between the two geometries every point.
+	var baseArena, expArena SimArena
 	for _, blob := range blobs {
 		t0 := time.Now()
-		lp, err := Decode(blob)
-		if err != nil {
+		if err := DecodeInto(&lp, blob); err != nil {
 			return nil, nil, nil, err
 		}
+		mDecodedBytes.Add(uint64(len(blob)))
 		res.LoadTime += time.Since(t0)
 
 		t0 = time.Now()
-		b, err := Simulate(lp, base)
+		b, err := baseArena.Simulate(&lp, base)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
 		}
-		e, err := Simulate(lp, exp)
+		e, err := expArena.Simulate(&lp, exp)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
 		}
@@ -457,6 +538,8 @@ func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
 	}
 
 	res := &MatchedResult{}
+	var lp LivePoint
+	var baseArena, expArena SimArena
 	for {
 		if opts.MaxPoints > 0 && res.Processed >= opts.MaxPoints {
 			break
@@ -469,18 +552,18 @@ func RunMatchedSource(src Source, opts MatchedOpts) (*MatchedResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		lp, err := Decode(blob)
-		if err != nil {
+		if err := DecodeInto(&lp, blob); err != nil {
 			return nil, err
 		}
+		mDecodedBytes.Add(uint64(len(blob)))
 		res.LoadTime += time.Since(t0)
 
 		t0 = time.Now()
-		base, err := Simulate(lp, opts.Base)
+		base, err := baseArena.Simulate(&lp, opts.Base)
 		if err != nil {
 			return nil, fmt.Errorf("livepoint: base config, point %d: %w", lp.Index, err)
 		}
-		exp, err := Simulate(lp, opts.Exp)
+		exp, err := expArena.Simulate(&lp, opts.Exp)
 		if err != nil {
 			return nil, fmt.Errorf("livepoint: experimental config, point %d: %w", lp.Index, err)
 		}

@@ -6,6 +6,7 @@ import (
 	"livepoints/internal/bpred"
 	"livepoints/internal/cache"
 	"livepoints/internal/functional"
+	"livepoints/internal/isa"
 	"livepoints/internal/mem"
 	"livepoints/internal/uarch"
 	"livepoints/internal/warm"
@@ -74,8 +75,7 @@ func (lp *LivePoint) Reconstruct(cfg uarch.Config) (*cache.Hier, *bpred.Predicto
 // runs first against the stored live-state, then the detailed window.
 func Simulate(lp *LivePoint, cfg uarch.Config) (warm.WindowResult, error) {
 	text := lp.TextSource()
-	img := mem.NewImage(lp.Mem)
-	overlay := mem.NewOverlay(img)
+	overlay := mem.NewOverlay(&lp.Mem)
 
 	hier, bp, err := lp.Reconstruct(cfg)
 	if err != nil {
@@ -94,5 +94,119 @@ func Simulate(lp *LivePoint, cfg uarch.Config) (warm.WindowResult, error) {
 	}
 
 	core := uarch.NewCore(cfg, text, overlay, arch, hier, bp)
+	return warm.RunWindow(core, lp.WarmLen, lp.UnitLen)
+}
+
+// SimArena holds the reusable per-worker simulation state: a memory
+// hierarchy, a branch predictor, a text map, a copy-on-write overlay, and
+// a functional CPU. Reconstructing and simulating through an arena
+// produces bit-identical results to the allocating Reconstruct/Simulate
+// path — a structure reset to a configuration is indistinguishable from a
+// freshly built one — while reusing every backing array across points.
+//
+// An arena serves one goroutine; runners keep one per worker. The zero
+// value is ready to use.
+type SimArena struct {
+	hier    *cache.Hier
+	bp      *bpred.Predictor
+	text    *textSource
+	overlay *mem.Overlay
+	cpu     *functional.CPU
+	warmer  warm.Warmer
+}
+
+// Reconstruct is LivePoint.Reconstruct into the arena's hierarchy and
+// predictor. The returned structures are owned by the arena and valid
+// until its next Reconstruct or Simulate call.
+func (a *SimArena) Reconstruct(lp *LivePoint, cfg uarch.Config) (*cache.Hier, *bpred.Predictor, error) {
+	if a.hier == nil {
+		a.hier = cache.NewHier(cfg.Hier)
+	}
+	if err := a.hier.ResetTo(cfg.Hier); err != nil {
+		return nil, nil, err
+	}
+	if a.bp == nil {
+		a.bp = bpred.New(cfg.BP)
+	}
+	if err := a.bp.ResetTo(cfg.BP); err != nil {
+		return nil, nil, err
+	}
+	if len(lp.Caches) == 0 {
+		// AW-MRRL checkpoint: cold structures, warmed functionally after
+		// load — exactly what ResetTo just produced.
+		return a.hier, a.bp, nil
+	}
+	install := []struct {
+		dst    *cache.Cache
+		target cache.Config
+	}{
+		{a.hier.L1I, cfg.Hier.L1I},
+		{a.hier.L1D, cfg.Hier.L1D},
+		{a.hier.L2, cfg.Hier.L2},
+		{a.hier.ITLB, cfg.Hier.ITLB},
+		{a.hier.DTLB, cfg.Hier.DTLB},
+	}
+	for i, t := range install {
+		sr, err := lp.FindCache(t.target.Name)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := sr.ReconstructInto(t.dst, t.target); err != nil {
+			return nil, nil, fmt.Errorf("livepoint: %s: %w", t.target.Name, err)
+		}
+		if lp.Restricted {
+			// Same garbage-line materialization (and seed) as the
+			// allocating path, so restricted runs stay bit-equal.
+			t.dst.FillInvalid(uint64(lp.Position)*31 + uint64(i) + 1)
+		}
+	}
+
+	ps, err := lp.FindPred(cfg.BP.Name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ps.Cfg != cfg.BP {
+		return nil, nil, fmt.Errorf("livepoint: stored predictor %q has different parameters than requested", cfg.BP.Name)
+	}
+	if err := a.bp.Restore(ps.Data); err != nil {
+		return nil, nil, err
+	}
+	return a.hier, a.bp, nil
+}
+
+// Simulate is the arena-backed Simulate: identical semantics and
+// bit-identical results, with the per-point fixed allocations (text map,
+// overlay, hierarchy, predictor, functional CPU) reused across calls.
+func (a *SimArena) Simulate(lp *LivePoint, cfg uarch.Config) (warm.WindowResult, error) {
+	if a.text == nil {
+		a.text = &textSource{insts: make(map[uint64]isa.Inst, 256)}
+	}
+	a.text.fill(lp)
+	if a.overlay == nil {
+		a.overlay = mem.NewOverlay(&lp.Mem)
+	} else {
+		a.overlay.Rebind(&lp.Mem)
+	}
+
+	hier, bp, err := a.Reconstruct(lp, cfg)
+	if err != nil {
+		return warm.WindowResult{}, err
+	}
+
+	arch := functional.State{PC: lp.Arch.PC, Regs: lp.Arch.Regs}
+	if lp.FuncWarm > 0 {
+		if a.cpu == nil {
+			a.cpu = functional.New(a.text, a.overlay)
+		}
+		a.cpu.Reset(a.text, a.overlay, arch)
+		a.warmer = warm.Warmer{H: hier, BP: bp}
+		a.cpu.Warm = &a.warmer
+		if n, err := a.cpu.Run(lp.FuncWarm); err != nil || n != lp.FuncWarm {
+			return warm.WindowResult{}, fmt.Errorf("livepoint: functional warming from checkpoint failed: %v", err)
+		}
+		arch = a.cpu.State
+	}
+
+	core := uarch.NewCore(cfg, a.text, a.overlay, arch, hier, bp)
 	return warm.RunWindow(core, lp.WarmLen, lp.UnitLen)
 }

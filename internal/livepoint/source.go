@@ -14,6 +14,12 @@ type Source interface {
 	Meta() Meta
 	// NextBlob returns the next encoded live-point, or io.EOF after the
 	// last.
+	//
+	// Ownership: the returned slice is only guaranteed valid until the
+	// next NextBlob call on the same source — implementations may reuse
+	// the buffer. Callers that retain a blob (or hand it to another
+	// goroutine) must copy it first. DecodeInto never retains the blob,
+	// so decode-then-recycle needs no copy.
 	NextBlob() ([]byte, error)
 	// Close releases the source's resources. A source need not be drained
 	// before closing.
@@ -84,4 +90,15 @@ func openFileSource(path string) (*fileSource, error) {
 
 func (s *fileSource) Meta() Meta                { return s.r.Meta }
 func (s *fileSource) NextBlob() ([]byte, error) { return s.r.NextBlob() }
-func (s *fileSource) Close() error              { return s.f.Close() }
+
+// Close closes the decompressor before the file: on a fully drained
+// stream the reader's Close verifies the gzip CRC trailer, so corruption
+// there fails the run instead of vanishing with the file handle.
+func (s *fileSource) Close() error {
+	rerr := s.r.Close()
+	ferr := s.f.Close()
+	if rerr != nil {
+		return rerr
+	}
+	return ferr
+}

@@ -3,7 +3,6 @@ package lpserve
 import (
 	"bufio"
 	"bytes"
-	"compress/gzip"
 	"context"
 	"encoding/json"
 	"errors"
@@ -349,11 +348,11 @@ func (c *Client) ShardBlobs(ctx context.Context, sh int) ([][]byte, error) {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	gz, err := gzip.NewReader(resp.Body)
+	gz, err := livepoint.AcquireGzipReader(resp.Body)
 	if err != nil {
 		return nil, fmt.Errorf("lpserve: shard %d: %w", sh, err)
 	}
-	defer gz.Close()
+	defer livepoint.ReleaseGzipReader(gz)
 	data, err := io.ReadAll(gz)
 	if err != nil {
 		return nil, fmt.Errorf("lpserve: shard %d: inflating: %w", sh, err)

@@ -32,7 +32,6 @@ package lpstore
 
 import (
 	"bytes"
-	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -278,14 +277,19 @@ func (st *Store) DecompressShard(s int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	gz, err := gzip.NewReader(raw)
+	gz, err := livepoint.AcquireGzipReader(raw)
 	if err != nil {
 		return nil, fmt.Errorf("lpstore: shard %d: %w", s, err)
 	}
-	defer gz.Close()
+	defer livepoint.ReleaseGzipReader(gz)
 	data := make([]byte, st.shards[s].uncompLen)
 	if _, err := io.ReadFull(gz, data); err != nil {
 		return nil, fmt.Errorf("lpstore: shard %d: inflating: %w", s, err)
+	}
+	// Read to EOF so the gzip CRC trailer is actually verified: uncompLen
+	// bytes arriving intact does not prove the stream checksum matched.
+	if _, err := io.Copy(io.Discard, gz); err != nil {
+		return nil, fmt.Errorf("lpstore: shard %d: stream trailer: %w", s, err)
 	}
 	return data, nil
 }
@@ -506,7 +510,11 @@ func Shuffle(path string, seed int64) error {
 	st.meta.Shuffled = true
 
 	idx := st.encodeIndex()
-	idxOff := fi.Size() - trailerLen - indexLenAt(f, fi.Size())
+	idxLen, err := indexLenAt(f, fi.Size())
+	if err != nil {
+		return err
+	}
+	idxOff := fi.Size() - trailerLen - idxLen
 	if err := f.Truncate(idxOff); err != nil {
 		return err
 	}
@@ -517,11 +525,14 @@ func Shuffle(path string, seed int64) error {
 }
 
 // indexLenAt re-reads the stored index length (openFile already validated
-// the trailer).
-func indexLenAt(f *os.File, size int64) int64 {
+// the trailer). A short read must fail loudly: truncating the file at an
+// offset derived from a garbage trailer would destroy shard data.
+func indexLenAt(f *os.File, size int64) (int64, error) {
 	var trailer [trailerLen]byte
-	f.ReadAt(trailer[:], size-trailerLen)
-	return int64(binary.LittleEndian.Uint64(trailer[:8]))
+	if _, err := f.ReadAt(trailer[:], size-trailerLen); err != nil {
+		return 0, fmt.Errorf("lpstore: read trailer: %w", err)
+	}
+	return int64(binary.LittleEndian.Uint64(trailer[:8])), nil
 }
 
 // appendTrailer suffixes an encoded index with its length and the trailer

@@ -148,6 +148,14 @@ func (o *Overlay) Reset() {
 	}
 }
 
+// Rebind resets the overlay and points it at a new base. Reusing one
+// overlay (and its write/seen buckets) across many simulation windows
+// keeps per-window setup allocation-free.
+func (o *Overlay) Rebind(base Reader) {
+	o.Reset()
+	o.base = base
+}
+
 // Image is a sparse read-only memory image: exactly the words captured in a
 // live-point. Reads of uncaptured words report ok=false; the detailed
 // simulator substitutes zero and counts the event (the paper's

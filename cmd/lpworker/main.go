@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"livepoints/internal/faultinject"
 	"livepoints/internal/lpcluster"
 	"livepoints/internal/lpserve"
 	"livepoints/internal/obs"
@@ -49,6 +50,7 @@ func main() {
 		id       = flag.String("id", "", "worker id reported in leases (default host-pid)")
 		progress = flag.Duration("progress", 10*time.Second, "fleet progress report interval (0 disables)")
 		verbose  = flag.Bool("v", false, "log every completed lease")
+		chaos    = flag.Uint64("chaos", 0, "seed deterministic fault injection into this worker's coordinator traffic (testing only; 0 disables)")
 	)
 	flag.Parse()
 	if *coord == "" {
@@ -69,6 +71,13 @@ func main() {
 	stat := cl.Stat()
 	log.Printf("pulling leases from %s (%s, %d points, %d shards)",
 		*coord, stat.Benchmark, stat.Points, stat.Shards)
+	if *chaos != 0 {
+		// Injected after the dial so startup sees the real coordinator;
+		// from here on every exchange rolls against the seeded schedule.
+		sched := faultinject.NewSchedule(*chaos, faultinject.DefaultRates(3*time.Second))
+		cl.SetTransport(&faultinject.Transport{Base: http.DefaultTransport, Sched: sched})
+		log.Printf("chaos: fault injection armed with seed %#x — results remain exact, expect noisy logs", *chaos)
+	}
 
 	level := obs.LevelInfo
 	if *verbose {

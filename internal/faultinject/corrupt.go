@@ -1,0 +1,83 @@
+package faultinject
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+)
+
+// Region names a byte range of a v2 library file for targeted
+// corruption. The v2 layout is magic | shard gzip streams | DER footer
+// index | 16-byte trailer (index length + trailer magic); each region
+// exercises a different detection path: shard bytes are covered by the
+// per-shard gzip CRC, the index by DER parsing and span validation, the
+// trailer by the open-time magic/length checks.
+type Region int
+
+const (
+	RegionShard Region = iota
+	RegionIndex
+	RegionTrailer
+)
+
+func (r Region) String() string {
+	switch r {
+	case RegionShard:
+		return "shard"
+	case RegionIndex:
+		return "index"
+	case RegionTrailer:
+		return "trailer"
+	}
+	return fmt.Sprintf("region(%d)", int(r))
+}
+
+const (
+	v2MagicLen   = 8  // "LPLIBv2\n"
+	v2TrailerLen = 16 // 8-byte LE index length + "LPIDXv2\n"
+)
+
+// CorruptFile copies the library at src to dst and XOR-flips one byte
+// inside the chosen region, at an offset picked deterministically from
+// seed. It returns the absolute file offset flipped. The safety property
+// consumers assert is not "reading always fails" — a flip can land in
+// bytes no decoder consults (e.g. a gzip header MTIME) — but that a
+// corrupted library never yields successfully-decoded data that differs
+// from the original: every read either errors or returns identical
+// bytes.
+func CorruptFile(src, dst string, region Region, seed uint64) (int64, error) {
+	data, err := os.ReadFile(src)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) < v2MagicLen+v2TrailerLen {
+		return 0, fmt.Errorf("faultinject: %s too short (%d bytes) for a v2 library", src, len(data))
+	}
+	size := int64(len(data))
+	idxLen := int64(binary.LittleEndian.Uint64(data[size-v2TrailerLen:]))
+	idxOff := size - v2TrailerLen - idxLen
+	if idxLen < 0 || idxOff < v2MagicLen {
+		return 0, fmt.Errorf("faultinject: %s trailer declares index length %d beyond file bounds", src, idxLen)
+	}
+
+	var lo, hi int64 // flip lands in [lo, hi)
+	switch region {
+	case RegionShard:
+		lo, hi = v2MagicLen, idxOff
+	case RegionIndex:
+		lo, hi = idxOff, size-v2TrailerLen
+	case RegionTrailer:
+		lo, hi = size-v2TrailerLen, size
+	default:
+		return 0, fmt.Errorf("faultinject: unknown region %v", region)
+	}
+	if hi <= lo {
+		return 0, fmt.Errorf("faultinject: region %v of %s is empty", region, src)
+	}
+	off := lo + int64(mix64(seed)%uint64(hi-lo))
+	data[off] ^= 0xFF
+	if err := os.WriteFile(dst, data, 0o644); err != nil {
+		return 0, err
+	}
+	return off, nil
+}

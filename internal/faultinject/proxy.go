@@ -1,0 +1,100 @@
+package faultinject
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"time"
+)
+
+// Proxy is the server-side injection point: an http.Handler that runs
+// the inner handler against a recorder, then mangles the captured
+// response per the schedule. Mount it in front of an lpserve mux (e.g.
+// httptest.NewServer(&Proxy{Inner: srv.Handler(), Sched: sched})) to
+// model a damaged server or an interposed middlebox — the complement of
+// Transport, which models the client's side of the wire. Severed
+// exchanges use panic(http.ErrAbortHandler), the sanctioned way for a
+// handler to break its connection mid-response.
+type Proxy struct {
+	Inner http.Handler
+	// Sched decides the fault per exchange. Nil proxies faithfully.
+	Sched *Schedule
+}
+
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if p.Sched == nil {
+		p.Inner.ServeHTTP(w, r)
+		return
+	}
+	f := p.Sched.Next(ClassOf(r.URL.Path))
+	switch f.Kind {
+	case Drop:
+		panic(http.ErrAbortHandler)
+	case Err500:
+		http.Error(w, "faultinject: injected 503", http.StatusServiceUnavailable)
+		return
+	}
+
+	// Buffer the request body so Dup can replay the identical request.
+	var reqBody []byte
+	if f.Kind == Dup && r.Body != nil {
+		reqBody, _ = io.ReadAll(r.Body)
+		r.Body.Close()
+		r.Body = io.NopCloser(bytes.NewReader(reqBody))
+	}
+
+	rec := httptest.NewRecorder()
+	p.Inner.ServeHTTP(rec, r)
+
+	if f.Kind == Dup {
+		r2 := r.Clone(r.Context())
+		r2.Body = io.NopCloser(bytes.NewReader(reqBody))
+		// The duplicate's outcome is discarded: the first response is
+		// what the client sees, the redelivery is the server's problem.
+		p.Inner.ServeHTTP(httptest.NewRecorder(), r2)
+	}
+
+	body := rec.Body.Bytes()
+	switch f.Kind {
+	case DropAfter:
+		// Inner ran to completion; the reply dies here.
+		panic(http.ErrAbortHandler)
+	case Delay:
+		select {
+		case <-r.Context().Done():
+			return
+		case <-time.After(f.Delay):
+		}
+	case Truncate:
+		// Advertise the full length, send half, sever: the client's
+		// transport reports the missing remainder as an unexpected EOF.
+		// The explicit flush matters — a panicking handler's buffered,
+		// unflushed response is discarded wholesale, which would turn
+		// this into a pre-header Drop instead of a mid-body cut.
+		copyHeader(w.Header(), rec.Header())
+		w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+		w.WriteHeader(rec.Code)
+		w.Write(body[:len(body)/2])
+		if fl, ok := w.(http.Flusher); ok {
+			fl.Flush()
+		}
+		panic(http.ErrAbortHandler)
+	case Corrupt:
+		body = CorruptBody(rec.Header().Get("Content-Type"), body, f.Rand)
+	}
+
+	copyHeader(w.Header(), rec.Header())
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(rec.Code)
+	w.Write(body)
+}
+
+func copyHeader(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package faultinject
+
+import (
+	"math/rand"
+	"path/filepath"
+
+	"livepoints/internal/bpred"
+	"livepoints/internal/livepoint"
+	"livepoints/internal/lpstore"
+	"livepoints/internal/prog"
+	"livepoints/internal/sampling"
+	"livepoints/internal/uarch"
+	"livepoints/internal/warm"
+)
+
+// GenLibrary captures a small real (simulatable) shuffled v2 library
+// into dir and returns its path — the same recipe the cluster tests use,
+// exported so soak harnesses outside this package (and outside the
+// lpcluster test package, which cannot be imported) can build a library
+// that exercises the full live-point load/simulate path. Creation runs a
+// complete functional pass, so callers should build once and share.
+func GenLibrary(dir string) (string, error) {
+	cfg := uarch.Config8Way()
+	spec, err := prog.ByName("syn.gzip")
+	if err != nil {
+		return "", err
+	}
+	p := prog.Generate(spec, 0.01)
+	benchLen, err := warm.BenchLength(p, p.TargetLen*4+1_000_000)
+	if err != nil {
+		return "", err
+	}
+	design, err := sampling.NewSystematic(benchLen, uarch.MeasureLen, uint64(cfg.DetailedWarm), 2, 1)
+	if err != nil {
+		return "", err
+	}
+	opts := livepoint.CreateOpts{MaxHier: cfg.Hier, Preds: []bpred.Config{cfg.BP}}
+	var blobs [][]byte
+	err = livepoint.Create(p, design, opts, func(lp *livepoint.LivePoint) error {
+		b, _ := livepoint.Encode(lp)
+		blobs = append(blobs, b)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	rng := rand.New(rand.NewSource(0x5EED))
+	rng.Shuffle(len(blobs), func(i, j int) { blobs[i], blobs[j] = blobs[j], blobs[i] })
+	meta := livepoint.Meta{Benchmark: "syn.gzip", UnitLen: design.UnitLen, WarmLen: design.WarmLen, Shuffled: true}
+	path := filepath.Join(dir, "lib.lplib")
+	if _, err := lpstore.Write(path, meta, blobs, lpstore.WriteOpts{ShardPoints: 5}); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// ErrInjected is the root of every transport-level failure this package
+// fabricates, so tests can tell an injected fault from a real one.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// Transport is a fault-injecting http.RoundTripper. Splice it under an
+// lpserve.Client with SetTransport and every exchange consults the
+// schedule before (Drop, Err500) or after (everything else) reaching the
+// real transport. Faults injected here model the network between a
+// worker and the coordinator: the server's state machine runs untouched,
+// which is exactly what makes DropAfter and Dup interesting — the server
+// has processed a request the client believes failed.
+type Transport struct {
+	// Base performs real exchanges (http.DefaultTransport when nil).
+	Base http.RoundTripper
+	// Sched decides the fault per exchange. Nil injects nothing.
+	Sched *Schedule
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// CloseIdleConnections forwards to the base transport so Client.CloseIdle
+// keeps working with a Transport spliced in.
+func (t *Transport) CloseIdleConnections() {
+	type closer interface{ CloseIdleConnections() }
+	if c, ok := t.base().(closer); ok {
+		c.CloseIdleConnections()
+	}
+}
+
+// RoundTrip applies one schedule decision to one exchange.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Sched == nil {
+		return t.base().RoundTrip(req)
+	}
+	f := t.Sched.Next(ClassOf(req.URL.Path))
+	switch f.Kind {
+	case Drop:
+		// The server never sees the request; the body must still be
+		// drained so the retry can rebuild it via GetBody.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, fmt.Errorf("%w: connection dropped before %s %s", ErrInjected, req.Method, req.URL.Path)
+	case Err500:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return synth503(req), nil
+	}
+
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+
+	switch f.Kind {
+	case DropAfter:
+		// The server processed the request; the client never learns.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, fmt.Errorf("%w: reply severed after %s %s", ErrInjected, req.Method, req.URL.Path)
+	case Dup:
+		// Redeliver the identical request; the duplicate's outcome is
+		// discarded — it is the server's dedup that is under test.
+		if req.GetBody != nil || req.Body == nil {
+			dup := req.Clone(req.Context())
+			if req.GetBody != nil {
+				b, err := req.GetBody()
+				if err == nil {
+					dup.Body = b
+				}
+			}
+			if r2, err := t.base().RoundTrip(dup); err == nil {
+				io.Copy(io.Discard, r2.Body)
+				r2.Body.Close()
+			}
+		}
+		return resp, nil
+	case Delay:
+		select {
+		case <-req.Context().Done():
+			resp.Body.Close()
+			return nil, req.Context().Err()
+		case <-time.After(f.Delay):
+		}
+		return resp, nil
+	case Truncate:
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		// Half the body, then the error a real severed connection
+		// produces once the transport notices Content-Length was not met.
+		resp.Body = &truncatedBody{r: bytes.NewReader(body[:len(body)/2])}
+		return resp, nil
+	case Corrupt:
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = io.NopCloser(bytes.NewReader(CorruptBody(resp.Header.Get("Content-Type"), body, f.Rand)))
+		return resp, nil
+	}
+	return resp, nil
+}
+
+// CorruptBody damages one response body in a deterministically chosen
+// way: JSON gets a poison first byte (0x00 is never valid JSON, so the
+// corruption is always detectable — arbitrary JSON flips could produce a
+// different but well-formed document, i.e. Byzantine corruption, which
+// is out of scope), anything else gets one byte XOR-flipped at an
+// offset chosen by rnd. The input slice is not modified.
+func CorruptBody(contentType string, body []byte, rnd uint64) []byte {
+	if len(body) == 0 {
+		return body
+	}
+	out := append([]byte(nil), body...)
+	if strings.Contains(contentType, "json") {
+		out[0] = 0x00
+		return out
+	}
+	out[rnd%uint64(len(out))] ^= 0xFF
+	return out
+}
+
+// truncatedBody yields its prefix then fails the way net/http surfaces a
+// connection lost mid-body.
+type truncatedBody struct{ r *bytes.Reader }
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+// synth503 fabricates a retriable server-error response.
+func synth503(req *http.Request) *http.Response {
+	body := "faultinject: injected 503"
+	return &http.Response{
+		Status:        "503 Service Unavailable",
+		StatusCode:    http.StatusServiceUnavailable,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{"text/plain"}},
+		Body:          io.NopCloser(strings.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}

@@ -1,0 +1,263 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const testBody = "0123456789abcdef0123456789abcdef"
+
+// backend is a counting origin server for injection tests.
+func backend(hits *atomic.Int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if r.Body != nil {
+			io.Copy(io.Discard, r.Body)
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(testBody)))
+		io.WriteString(w, testBody)
+	})
+}
+
+// always returns a schedule injecting kind on every exchange.
+func always(k Kind) *Schedule {
+	r := Rates{DelayFor: 50 * time.Millisecond}
+	switch k {
+	case Drop:
+		r.Drop = 1
+	case DropAfter:
+		r.DropAfter = 1
+	case Dup:
+		r.Dup = 1
+	case Delay:
+		r.Delay = 1
+	case Err500:
+		r.Err500 = 1
+	case Truncate:
+		r.Truncate = 1
+	case Corrupt:
+		r.Corrupt = 1
+	}
+	return NewSchedule(1, map[string]Rates{"": r})
+}
+
+// viaTransport issues one POST through a fault-injecting Transport.
+func viaTransport(t *testing.T, k Kind) (*http.Response, error, int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(backend(&hits))
+	t.Cleanup(ts.Close)
+	hc := &http.Client{Transport: &Transport{Sched: always(k)}}
+	t.Cleanup(hc.CloseIdleConnections)
+	resp, err := hc.Post(ts.URL+"/v1/results", "application/json", bytes.NewReader([]byte(`{}`)))
+	return resp, err, hits.Load()
+}
+
+func TestTransportDrop(t *testing.T) {
+	resp, err, hits := viaTransport(t, Drop)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped exchange returned a response")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("error does not unwrap to ErrInjected: %v", err)
+	}
+	if hits != 0 {
+		t.Fatalf("Drop reached the server %d times; it must never", hits)
+	}
+}
+
+func TestTransportDropAfter(t *testing.T) {
+	resp, err, hits := viaTransport(t, DropAfter)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("severed reply returned a response")
+	}
+	if hits != 1 {
+		t.Fatalf("DropAfter must deliver exactly once, server saw %d", hits)
+	}
+}
+
+func TestTransportDup(t *testing.T) {
+	resp, err, hits := viaTransport(t, Dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if hits != 2 {
+		t.Fatalf("Dup must deliver exactly twice, server saw %d", hits)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != testBody {
+		t.Fatalf("Dup damaged the returned response: %q", body)
+	}
+}
+
+func TestTransportErr500(t *testing.T) {
+	resp, err, hits := viaTransport(t, Err500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatalf("synthesized 503 reached the server %d times", hits)
+	}
+}
+
+func TestTransportTruncate(t *testing.T) {
+	resp, err, _ := viaTransport(t, Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body must end in ErrUnexpectedEOF, got %v", err)
+	}
+	if len(body) != len(testBody)/2 {
+		t.Fatalf("got %d bytes before the cut, want %d", len(body), len(testBody)/2)
+	}
+}
+
+func TestTransportCorrupt(t *testing.T) {
+	resp, err, _ := viaTransport(t, Corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != testBody[i] {
+			diff++
+		}
+	}
+	if len(body) != len(testBody) || diff != 1 {
+		t.Fatalf("corruption changed %d bytes of %d, want exactly 1 of %d", diff, len(body), len(testBody))
+	}
+}
+
+func TestTransportDelay(t *testing.T) {
+	t0 := time.Now()
+	resp, err, _ := viaTransport(t, Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if d := time.Since(t0); d < 50*time.Millisecond {
+		t.Fatalf("delayed response arrived after %v, want >= 50ms", d)
+	}
+}
+
+// viaProxy issues one POST against a Proxy-wrapped backend.
+func viaProxy(t *testing.T, k Kind) (*http.Response, error, int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(&Proxy{Inner: backend(&hits), Sched: always(k)})
+	t.Cleanup(ts.Close)
+	hc := &http.Client{}
+	t.Cleanup(hc.CloseIdleConnections)
+	resp, err := hc.Post(ts.URL+"/v1/results", "application/json", bytes.NewReader([]byte(`{}`)))
+	return resp, err, hits.Load()
+}
+
+func TestProxyDrop(t *testing.T) {
+	resp, err, hits := viaProxy(t, Drop)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("dropped exchange returned a response")
+	}
+	if hits != 0 {
+		t.Fatalf("Drop reached the inner handler %d times", hits)
+	}
+}
+
+func TestProxyDropAfter(t *testing.T) {
+	resp, err, hits := viaProxy(t, DropAfter)
+	if err == nil {
+		resp.Body.Close()
+		t.Fatal("severed reply returned a response")
+	}
+	if hits != 1 {
+		t.Fatalf("DropAfter must run the inner handler exactly once, saw %d", hits)
+	}
+}
+
+func TestProxyDup(t *testing.T) {
+	resp, err, hits := viaProxy(t, Dup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if hits != 2 {
+		t.Fatalf("Dup must run the inner handler exactly twice, saw %d", hits)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if string(body) != testBody {
+		t.Fatalf("Dup damaged the returned response: %q", body)
+	}
+}
+
+func TestProxyTruncate(t *testing.T) {
+	resp, err, _ := viaProxy(t, Truncate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body must end in ErrUnexpectedEOF, got %v (%d bytes)", err, len(body))
+	}
+	if len(body) != len(testBody)/2 {
+		t.Fatalf("got %d bytes before the cut, want %d", len(body), len(testBody)/2)
+	}
+}
+
+func TestProxyCorrupt(t *testing.T) {
+	resp, err, _ := viaProxy(t, Corrupt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := range body {
+		if body[i] != testBody[i] {
+			diff++
+		}
+	}
+	if len(body) != len(testBody) || diff != 1 {
+		t.Fatalf("corruption changed %d bytes of %d, want exactly 1", diff, len(body))
+	}
+}
+
+func TestProxyErr500(t *testing.T) {
+	resp, err, hits := viaProxy(t, Err500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if hits != 0 {
+		t.Fatalf("injected 503 reached the inner handler %d times", hits)
+	}
+}

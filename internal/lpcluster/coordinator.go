@@ -238,7 +238,7 @@ func (c *Coordinator) relCILocked() float64 {
 		if c.mp.Base.Mean() == 0 {
 			return 0
 		}
-		return finite(c.mp.DeltaCI(c.spec.Z) / c.mp.Base.Mean())
+		return finite(c.mp.DeltaCI(c.spec.Z) / math.Abs(c.mp.Base.Mean()))
 	}
 	return finite(c.online.RelCI(c.spec.Z))
 }

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -47,6 +49,12 @@ type Worker struct {
 	// (points/s for the lease, cumulative totals). Nil logs nothing.
 	Log *obs.Logger
 
+	// ReconnectBase and ReconnectCap override the coordinator-outage
+	// backoff schedule. Zero values keep the production defaults; fault
+	// soaks shrink them so a run spends its wall clock simulating, not
+	// sleeping.
+	ReconnectBase, ReconnectCap time.Duration
+
 	cl      *lpserve.Client
 	base    uarch.Config
 	exp     uarch.Config
@@ -78,13 +86,34 @@ func (w *Worker) Drain() { w.draining.Store(true) }
 // transient reports whether a coordinator request failed in a way worth
 // outwaiting: a transport-level error (connection refused, reset, timeout
 // — the coordinator may be restarting) or a 5xx verdict. 4xx responses
-// are protocol outcomes, not outages.
+// and protocol errors — a 2xx reply whose body failed to decode — are
+// not outages: the coordinator is up and answering, it is the exchange
+// itself that is broken, and retrying the same exchange forever would
+// pin the worker in a reconnect loop it can never leave.
 func transient(err error) bool {
 	var se *lpserve.StatusError
 	if errors.As(err, &se) {
 		return se.Code >= 500
 	}
-	return true
+	var pe *lpserve.ProtocolError
+	if errors.As(err, &pe) {
+		return false
+	}
+	var te *lpserve.TransportError
+	if errors.As(err, &te) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) {
+		return true
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) || errors.Is(err, io.EOF) ||
+		errors.Is(err, context.DeadlineExceeded) {
+		// Connection severed mid-body or a per-request timeout: the
+		// classic shapes of a coordinator dying under us.
+		return true
+	}
+	return false
 }
 
 // Run pulls and simulates leases until the run completes, Drain is
@@ -139,9 +168,16 @@ func (w *Worker) Run(ctx context.Context) error {
 
 // awaitCoordinator sleeps one jittered backoff step, logging the outage.
 func (w *Worker) awaitCoordinator(ctx context.Context, rng *rand.Rand, outage *int, cause error) error {
-	d := reconnectBase << uint(*outage)
-	if d > reconnectCap || d <= 0 {
-		d = reconnectCap
+	base, cap := w.ReconnectBase, w.ReconnectCap
+	if base <= 0 {
+		base = reconnectBase
+	}
+	if cap <= 0 {
+		cap = reconnectCap
+	}
+	d := base << uint(*outage)
+	if d > cap || d <= 0 {
+		d = cap
 	}
 	// Full jitter: anywhere in (0, d], desynchronizing the fleet's
 	// reconnect stampede.

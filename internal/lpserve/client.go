@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net/http"
 	"strconv"
@@ -62,6 +63,28 @@ func (e *StatusError) Error() string {
 // retryable reports whether the failure may be transient: every 5xx is,
 // anything else the server said is not.
 func (e *StatusError) retryable() bool { return e.Code >= 500 }
+
+// TransportError marks a failure that happened while moving bytes —
+// connection refused or reset, DNS, per-attempt timeouts, a response
+// severed mid-body — after the client's retry budget was exhausted.
+// The server may never have seen the request, or may have processed it
+// without the answer arriving; either way the outage is worth outwaiting,
+// and cluster workers do (in contrast to a *ProtocolError, which is not).
+type TransportError struct{ Err error }
+
+func (e *TransportError) Error() string { return e.Err.Error() }
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// ProtocolError marks a delivered but malformed response: the HTTP
+// exchange succeeded with a 2xx status, yet the body did not hold what
+// the protocol promised (garbage or truncated JSON, a DER stream that
+// does not split, a checksum mismatch that survived retries). Retrying
+// blindly risks spinning forever against a systematically corrupt peer,
+// so callers treat it as fatal rather than as an outage.
+type ProtocolError struct{ Err error }
+
+func (e *ProtocolError) Error() string { return e.Err.Error() }
+func (e *ProtocolError) Unwrap() error { return e.Err }
 
 // Client talks to one lpserved instance. Its sources implement
 // livepoint.Source and livepoint.ShardedSource, so remote libraries plug
@@ -149,6 +172,17 @@ func (c *Client) Shards() ([]ShardStat, error) {
 // Source returns a fresh source over the remote library in read order.
 func (c *Client) Source() livepoint.Source { return &remoteSource{c: c} }
 
+// SetTransport replaces the client's underlying HTTP transport (nil
+// restores the default). This is the hook internal/faultinject uses to
+// splice a fault-injecting RoundTripper beneath the retry loop; call it
+// before the first request.
+func (c *Client) SetTransport(rt http.RoundTripper) { c.hc.Transport = rt }
+
+// CloseIdle closes idle keep-alive connections. Harness code that cycles
+// many clients against short-lived servers calls this at teardown so no
+// connection goroutines outlive the run.
+func (c *Client) CloseIdle() { c.hc.CloseIdleConnections() }
+
 // timeout returns the per-attempt deadline.
 func (c *Client) timeout() time.Duration {
 	if c.Timeout > 0 {
@@ -223,6 +257,12 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, conte
 			}
 		}
 		if attempt >= c.Retry.Max {
+			var se *StatusError
+			if !errors.As(lastErr, &se) {
+				// Only transport-level failures reach here untyped; tag
+				// them so callers can tell an outage from a protocol fault.
+				lastErr = &TransportError{Err: lastErr}
+			}
 			return nil, fmt.Errorf("lpserve: %s %s (after %d attempts): %w", method, path, attempt+1, lastErr)
 		}
 		reg.Counter("lpserve_client_retries_total", "Attempts re-issued after a transient failure.").Inc()
@@ -245,7 +285,7 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	}
 	defer resp.Body.Close()
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-		return fmt.Errorf("lpserve: GET %s: decoding response: %w", path, err)
+		return fmt.Errorf("lpserve: GET %s: decoding response: %w", path, &ProtocolError{Err: err})
 	}
 	return nil
 }
@@ -271,7 +311,7 @@ func (c *Client) DoJSON(ctx context.Context, method, path string, in, out any) e
 		return nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("lpserve: %s %s: decoding response: %w", method, path, err)
+		return fmt.Errorf("lpserve: %s %s: decoding response: %w", method, path, &ProtocolError{Err: err})
 	}
 	return nil
 }
@@ -289,14 +329,68 @@ func (c *Client) batchPoints() int {
 }
 
 // FetchBatch pulls the blobs at read-order positions [start, start+count)
-// and splits the concatenated DER response.
+// and splits the concatenated DER response. The body is verified against
+// the server's integrity checksum (PointsCRCHeader) when present, and a
+// failure after the headers arrived — truncation, corruption, a DER
+// stream that does not split — is refetched under the client's retry
+// policy: the connection-level retry in do only covers failures up to the
+// status line, so without this loop one flipped bit in a response body
+// would either kill the caller or, worse, fold silently wrong data.
 func (c *Client) FetchBatch(ctx context.Context, start, count int) ([][]byte, error) {
+	reg := c.metrics()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		blobs, err := c.fetchBatchOnce(ctx, start, count)
+		if err == nil {
+			return blobs, nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			return nil, err // a server verdict; do already retried 5xx
+		}
+		lastErr = err
+		if attempt >= c.Retry.Max {
+			var pe *ProtocolError
+			if !errors.As(lastErr, &pe) {
+				lastErr = &TransportError{Err: lastErr}
+			}
+			return nil, fmt.Errorf("lpserve: batch [%d,%d) (after %d attempts): %w",
+				start, start+count, attempt+1, lastErr)
+		}
+		reg.Counter("lpserve_client_body_retries_total", "Responses refetched after a mid-body failure (truncation, corruption, checksum mismatch).").Inc()
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("lpserve: batch [%d,%d): %w", start, start+count, ctx.Err())
+		case <-time.After(c.Retry.backoff(attempt)):
+		}
+	}
+}
+
+// fetchBatchOnce is one attempt at a ranged fetch: download, checksum,
+// split.
+func (c *Client) fetchBatchOnce(ctx context.Context, start, count int) ([][]byte, error) {
 	resp, err := c.get(ctx, fmt.Sprintf("/v1/points?start=%d&count=%d", start, count))
 	if err != nil {
 		return nil, err
 	}
 	defer resp.Body.Close()
-	br := bufio.NewReaderSize(resp.Body, 1<<20)
+	body, err := io.ReadAll(bufio.NewReaderSize(resp.Body, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("lpserve: batch [%d,%d): reading body: %w", start, start+count, err)
+	}
+	if h := resp.Header.Get(PointsCRCHeader); h != "" {
+		want, err := strconv.ParseUint(h, 16, 32)
+		if err != nil {
+			return nil, fmt.Errorf("lpserve: batch [%d,%d): bad %s header %q: %w",
+				start, start+count, PointsCRCHeader, h, &ProtocolError{Err: err})
+		}
+		if got := crc32.ChecksumIEEE(body); got != uint32(want) {
+			c.metrics().Counter("lpserve_client_integrity_failures_total", "Response bodies whose integrity checksum did not match.").Inc()
+			return nil, fmt.Errorf("lpserve: batch [%d,%d): %w", start, start+count,
+				&ProtocolError{Err: fmt.Errorf("body crc %08x, server sent %08x", got, want)})
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(body))
 	blobs := make([][]byte, 0, count)
 	for i := 0; i < count; i++ {
 		b, err := livepoint.ReadElement(br)
@@ -337,8 +431,42 @@ func (c *Client) FetchRange(ctx context.Context, start, count int) ([][]byte, er
 
 // ShardBlobs fetches one shard — its read-order index, then its stored
 // gzip bytes (the server does byte copies only) — inflates it locally,
-// and returns the shard's point blobs in read order.
+// and returns the shard's point blobs in read order. The gzip CRC trailer
+// verifies the shard bytes end to end; a body that fails to inflate or
+// checksum (connection lost mid-stream, bytes damaged en route) is
+// refetched under the client's retry policy rather than surfaced from a
+// single unlucky attempt.
 func (c *Client) ShardBlobs(ctx context.Context, sh int) ([][]byte, error) {
+	reg := c.metrics()
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		blobs, err := c.shardBlobsOnce(ctx, sh)
+		if err == nil {
+			return blobs, nil
+		}
+		var se *StatusError
+		if errors.As(err, &se) {
+			return nil, err
+		}
+		lastErr = err
+		if attempt >= c.Retry.Max {
+			var pe *ProtocolError
+			if !errors.As(lastErr, &pe) {
+				lastErr = &TransportError{Err: lastErr}
+			}
+			return nil, fmt.Errorf("lpserve: shard %d (after %d attempts): %w", sh, attempt+1, lastErr)
+		}
+		reg.Counter("lpserve_client_body_retries_total", "Responses refetched after a mid-body failure (truncation, corruption, checksum mismatch).").Inc()
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("lpserve: shard %d: %w", sh, ctx.Err())
+		case <-time.After(c.Retry.backoff(attempt)):
+		}
+	}
+}
+
+// shardBlobsOnce is one attempt at a whole-shard fetch.
+func (c *Client) shardBlobsOnce(ctx context.Context, sh int) ([][]byte, error) {
 	var spans []lpstore.Span
 	if err := c.getJSON(ctx, fmt.Sprintf("/v1/shards/%d/index", sh), &spans); err != nil {
 		return nil, err
@@ -360,8 +488,8 @@ func (c *Client) ShardBlobs(ctx context.Context, sh int) ([][]byte, error) {
 	blobs := make([][]byte, len(spans))
 	for i, sp := range spans {
 		if sp.Off < 0 || sp.Off+int64(sp.Len) > int64(len(data)) {
-			return nil, fmt.Errorf("lpserve: shard %d span [%d,%d) exceeds shard length %d",
-				sh, sp.Off, sp.Off+int64(sp.Len), len(data))
+			return nil, fmt.Errorf("lpserve: shard %d: %w", sh, &ProtocolError{
+				Err: fmt.Errorf("span [%d,%d) exceeds shard length %d", sp.Off, sp.Off+int64(sp.Len), len(data))})
 		}
 		blobs[i] = data[sp.Off : sp.Off+int64(sp.Len)]
 	}

@@ -30,7 +30,9 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -50,6 +52,15 @@ type ShardStat struct {
 
 // MaxBatchPoints caps a single /v1/points response.
 const MaxBatchPoints = 4096
+
+// PointsCRCHeader carries the IEEE CRC32 (lowercase hex) of a /v1/points
+// response body. Shard downloads are already covered end to end by the
+// gzip stream checksum, but ranged batches are raw DER concatenations
+// with no integrity layer of their own — a bit flipped between the store
+// and a worker would otherwise decode into a plausible live-point and
+// fold silently wrong data into the estimate. Clients verify when the
+// header is present (older servers simply omit it).
+const PointsCRCHeader = "X-Lplib-Crc32"
 
 // Server serves one live-point store over HTTP.
 type Server struct {
@@ -237,6 +248,12 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad count", http.StatusBadRequest)
 		return
 	}
+	if start > math.MaxInt-count {
+		// Rejected explicitly: a wrapped start+count must never reach the
+		// range arithmetic below or the store's slice checks.
+		http.Error(w, "start+count overflows", http.StatusBadRequest)
+		return
+	}
 	if count > MaxBatchPoints {
 		count = MaxBatchPoints
 	}
@@ -254,12 +271,15 @@ func (s *Server) handlePoints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var n int
+	crc := crc32.NewIEEE()
 	for _, b := range blobs {
 		n += len(b)
+		crc.Write(b)
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(n))
 	w.Header().Set("X-Lplib-Points", strconv.Itoa(count))
+	w.Header().Set(PointsCRCHeader, fmt.Sprintf("%08x", crc.Sum32()))
 	for _, b := range blobs {
 		if _, err := w.Write(b); err != nil {
 			return

@@ -1,5 +1,7 @@
 package sampling
 
+import "math"
+
 // OnlineEstimator implements the paper's random-order online reporting
 // (§6.1): as shuffled live-points are processed, the points seen so far
 // form an unbiased sub-sample, so the running estimate and its confidence
@@ -85,12 +87,14 @@ func (mp *MatchedPair) N() int { return mp.Delta.N() }
 // MeanDelta returns the estimated performance change.
 func (mp *MatchedPair) MeanDelta() float64 { return mp.Delta.Mean() }
 
-// RelDelta returns the change relative to the baseline mean.
+// RelDelta returns the change relative to the baseline mean's magnitude.
+// Normalizing by |mean| keeps the sign of the delta meaningful when the
+// baseline metric itself is negative (a speedup stays a speedup).
 func (mp *MatchedPair) RelDelta() float64 {
 	if mp.Base.Mean() == 0 {
 		return 0
 	}
-	return mp.Delta.Mean() / mp.Base.Mean()
+	return mp.Delta.Mean() / math.Abs(mp.Base.Mean())
 }
 
 // DeltaCI returns the half-width of the confidence interval on the mean
@@ -98,24 +102,27 @@ func (mp *MatchedPair) RelDelta() float64 {
 func (mp *MatchedPair) DeltaCI(z float64) float64 { return mp.Delta.CIHalfWidth(z) }
 
 // DeltaSatisfied reports whether the delta is known to the given relative
-// error (relative to the baseline mean — the natural yardstick when the
-// delta itself may be near zero).
+// error (relative to the baseline mean's magnitude — the natural
+// yardstick when the delta itself may be near zero). The divisor must be
+// |mean|: dividing the (positive) CI half-width by a negative mean would
+// make the comparison vacuously true at N = MinSampleSize.
 func (mp *MatchedPair) DeltaSatisfied(z, relErr float64) bool {
 	if mp.N() < MinSampleSize || mp.Base.Mean() == 0 {
 		return false
 	}
-	return mp.DeltaCI(z)/mp.Base.Mean() <= relErr
+	return mp.DeltaCI(z)/math.Abs(mp.Base.Mean()) <= relErr
 }
 
 // NoImpact reports whether the confidence interval on the delta excludes
-// any change larger than threshold·baseline — the paper's rapid
-// "no appreciable impact" screen (§6.2).
+// any change larger than threshold·|baseline| — the paper's rapid
+// "no appreciable impact" screen (§6.2). As in DeltaSatisfied, a
+// negative baseline mean must not flip the interval bounds.
 func (mp *MatchedPair) NoImpact(z, threshold float64) bool {
 	if mp.N() < MinSampleSize || mp.Base.Mean() == 0 {
 		return false
 	}
-	hi := (mp.Delta.Mean() + mp.DeltaCI(z)) / mp.Base.Mean()
-	lo := (mp.Delta.Mean() - mp.DeltaCI(z)) / mp.Base.Mean()
+	hi := (mp.Delta.Mean() + mp.DeltaCI(z)) / math.Abs(mp.Base.Mean())
+	lo := (mp.Delta.Mean() - mp.DeltaCI(z)) / math.Abs(mp.Base.Mean())
 	return hi < threshold && lo > -threshold
 }
 

@@ -327,3 +327,59 @@ func TestMatchedPairDeltaSatisfied(t *testing.T) {
 		t.Fatal("constant delta should satisfy immediately at n=30")
 	}
 }
+
+// TestMatchedPairNegativeBaseline: the ratio helpers normalize by the
+// baseline mean's magnitude. Before the math.Abs fix, a negative
+// baseline flipped every threshold comparison — DeltaSatisfied's
+// positive CI half-width divided by a negative mean was vacuously below
+// any target, so a wide-open comparison "satisfied" at n=30, and
+// NoImpact's interval bounds swapped sign.
+func TestMatchedPairNegativeBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+
+	// Wide-open delta on a negative baseline: must NOT satisfy a tight
+	// target, must NOT screen as no-impact.
+	var wide MatchedPair
+	for i := 0; i < 100; i++ {
+		base := -1.0 + rng.NormFloat64()*0.3
+		wide.Add(base, base+rng.NormFloat64()*2.0)
+	}
+	if wide.DeltaSatisfied(Z997, 0.01) {
+		t.Fatal("noisy delta on a negative baseline claimed ±1% satisfaction")
+	}
+	if wide.NoImpact(Z997, 0.03) {
+		t.Fatal("noisy delta on a negative baseline screened as no-impact")
+	}
+
+	// Tight delta on a negative baseline: behaves exactly like its
+	// positive mirror image.
+	var neg, pos MatchedPair
+	for i := 0; i < 100; i++ {
+		base := 1.0 + rng.NormFloat64()*0.1
+		d := rng.NormFloat64() * 0.001
+		pos.Add(base, base+d)
+		neg.Add(-base, -base+d)
+	}
+	if pos.DeltaSatisfied(Z997, 0.05) != neg.DeltaSatisfied(Z997, 0.05) {
+		t.Fatalf("DeltaSatisfied asymmetric in baseline sign: pos=%v neg=%v",
+			pos.DeltaSatisfied(Z997, 0.05), neg.DeltaSatisfied(Z997, 0.05))
+	}
+	if pos.NoImpact(Z997, 0.03) != neg.NoImpact(Z997, 0.03) {
+		t.Fatalf("NoImpact asymmetric in baseline sign: pos=%v neg=%v",
+			pos.NoImpact(Z997, 0.03), neg.NoImpact(Z997, 0.03))
+	}
+	if !neg.NoImpact(Z997, 0.03) {
+		t.Fatal("negligible change on a negative baseline not screened as no-impact")
+	}
+
+	// RelDelta keeps the delta's own sign regardless of baseline sign: a
+	// +0.05 absolute delta is a +5% relative change whether the metric
+	// runs positive or negative.
+	var rd MatchedPair
+	for i := 0; i < MinSampleSize; i++ {
+		rd.Add(-1.0, -0.95) // delta = +0.05 on baseline mean -1.0
+	}
+	if got := rd.RelDelta(); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("RelDelta on negative baseline %.6f, want +0.05", got)
+	}
+}
